@@ -1,0 +1,65 @@
+"""Ablation: dictionary defragmentation + sub-dictionary skipping.
+
+Sec 4.2.2 / 5.2: BSP defragmentation keeps contiguous cells together so
+an (eps, rho)-region query touches few sub-dictionaries, and MBR-based
+skipping makes the untouched ones free — without changing any result.
+
+Measured: identical clustering, plus the average number of
+sub-dictionaries a query would have to load, which must be a small
+fraction of the total.
+"""
+
+import numpy as np
+
+from common import BENCH_MIN_PTS, bench_dataset, publish, run_once
+
+from repro import RPDBSCAN
+from repro.bench.reporting import format_table
+from repro.data.datasets import DATASETS
+
+
+def run_experiment():
+    points = bench_dataset("OpenStreetMap")
+    eps = DATASETS["OpenStreetMap"].eps10
+    plain = RPDBSCAN(eps, BENCH_MIN_PTS, 8, seed=0).fit(points)
+    capacities = [256, 1024, 4096]
+    defrag = {
+        cap: RPDBSCAN(
+            eps, BENCH_MIN_PTS, 8, seed=0, defragment_capacity=cap
+        ).fit(points)
+        for cap in capacities
+    }
+    return plain, defrag
+
+
+def test_ablation_defragmentation(benchmark):
+    plain, defrag = run_once(benchmark, run_experiment)
+
+    rows = []
+    for cap, result in defrag.items():
+        num_subdicts, avg_consulted = result.subdict_stats
+        rows.append(
+            [
+                cap,
+                num_subdicts,
+                round(avg_consulted, 2),
+                round(avg_consulted / num_subdicts, 4),
+            ]
+        )
+    publish(
+        "ablation_defragmentation",
+        format_table(
+            ["capacity", "sub-dicts", "avg consulted/query", "fraction"],
+            rows,
+            title="Ablation: sub-dictionary skipping effectiveness",
+        ),
+    )
+
+    for cap, result in defrag.items():
+        # Results must be identical to the monolithic dictionary.
+        np.testing.assert_array_equal(result.labels, plain.labels)
+        num_subdicts, avg_consulted = result.subdict_stats
+        if num_subdicts > 4:
+            # Queries touch a small fraction of the sub-dictionaries:
+            # that is the memory the paper's skipping saves.
+            assert avg_consulted / num_subdicts < 0.5, (cap, result.subdict_stats)

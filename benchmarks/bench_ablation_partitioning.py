@@ -1,0 +1,77 @@
+"""Ablation: cell-level random partitioning + dictionary vs alternatives.
+
+DESIGN.md design-choice ablations:
+
+1. **Pseudo random vs naive random split** — drop the cell dictionary
+   (the naive baseline of Sec 2.2.1) and accuracy falls; RP-DBSCAN keeps
+   Rand index ~1.0 under the same random-split regime.
+2. **random_key vs shuffle cell assignment** — both preserve the exact
+   clustering; shuffle trades the paper's fidelity for slightly tighter
+   partition-size balance.
+"""
+
+import numpy as np
+
+from common import publish, run_once
+
+from repro import RPDBSCAN
+from repro.baselines import ExactDBSCAN, NaiveRandomDBSCAN
+from repro.bench.reporting import format_table
+from repro.data import chameleon_like
+from repro.metrics import rand_index
+
+EPS, MIN_PTS, K = 0.12, 8, 8
+
+
+def run_experiment():
+    points = chameleon_like(8000, seed=5)
+    exact = ExactDBSCAN(EPS, MIN_PTS).fit(points)
+    rp = RPDBSCAN(EPS, MIN_PTS, K, seed=0).fit(points)
+    naive = NaiveRandomDBSCAN(EPS, MIN_PTS, K, seed=0).fit(points)
+    shuffled = RPDBSCAN(EPS, MIN_PTS, K, seed=0, partition_method="shuffle").fit(
+        points
+    )
+    return {
+        "exact": exact,
+        "rp_random_key": rp,
+        "rp_shuffle": shuffled,
+        "naive_random": naive,
+    }
+
+
+def test_ablation_partitioning(benchmark):
+    results = run_once(benchmark, run_experiment)
+    exact = results["exact"]
+
+    rows = []
+    for name in ("rp_random_key", "rp_shuffle", "naive_random"):
+        result = results[name]
+        rows.append(
+            [
+                name,
+                result.n_clusters,
+                result.noise_count,
+                round(rand_index(exact.labels, result.labels), 4),
+            ]
+        )
+    publish(
+        "ablation_partitioning",
+        format_table(
+            ["variant", "clusters", "noise", "Rand index vs exact"],
+            rows,
+            title="Ablation: partitioning strategy & the cell dictionary",
+        ),
+    )
+
+    ri_rp = rand_index(exact.labels, results["rp_random_key"].labels)
+    ri_shuffle = rand_index(exact.labels, results["rp_shuffle"].labels)
+    ri_naive = rand_index(exact.labels, results["naive_random"].labels)
+    assert ri_rp >= 0.999
+    assert ri_shuffle >= 0.999
+    # The dictionary is what pays for accuracy under random splitting.
+    assert ri_naive <= ri_rp
+
+    # Shuffle assignment balances partition sizes at least as tightly.
+    sizes_key = np.array(results["rp_random_key"].partition_sizes, dtype=float)
+    sizes_shuffle = np.array(results["rp_shuffle"].partition_sizes, dtype=float)
+    assert sizes_shuffle.std() <= sizes_key.std() * 1.5

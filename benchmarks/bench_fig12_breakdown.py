@@ -1,0 +1,48 @@
+"""Figure 12: breakdown of RP-DBSCAN elapsed time into the five phases.
+
+The paper finds Phase II (cell graph construction) dominates (31-68%,
+growing with data size), while Phase I (partitioning + dictionary) and
+Phase III (merging + labeling) stay small — "parallel processing ...
+comes at little additional cost for pre-processing and post-processing".
+"""
+
+from common import BENCH_MIN_PTS, bench_dataset, publish, run_once
+
+from repro import RPDBSCAN
+from repro.bench.reporting import format_table, render_stacked_bars
+from repro.core.rp_dbscan import PHASE_CELL_GRAPH, PHASES
+from repro.data.datasets import DATASETS
+
+
+def run_experiment():
+    out = {}
+    for name in ("GeoLife", "Cosmo50", "OpenStreetMap", "TeraClickLog"):
+        points = bench_dataset(name)
+        result = RPDBSCAN(DATASETS[name].eps10, BENCH_MIN_PTS, 8, seed=0).fit(points)
+        out[name] = result.phase_breakdown()
+    return out
+
+
+def test_fig12_phase_breakdown(benchmark):
+    breakdowns = run_once(benchmark, run_experiment)
+
+    table = [
+        [name, *(round(b[phase], 3) for phase in PHASES)]
+        for name, b in breakdowns.items()
+    ]
+    publish(
+        "fig12_breakdown",
+        format_table(
+            ["dataset", *PHASES],
+            table,
+            title="Fig 12: RP-DBSCAN elapsed-time breakdown (fractions)",
+        )
+        + "\n\n"
+        + render_stacked_bars(breakdowns),
+    )
+
+    for name, breakdown in breakdowns.items():
+        assert sum(breakdown.values()) == __import__("pytest").approx(1.0)
+        # Phase II dominates, as in the paper.
+        assert breakdown[PHASE_CELL_GRAPH] == max(breakdown.values()), name
+        assert breakdown[PHASE_CELL_GRAPH] > 0.3, name

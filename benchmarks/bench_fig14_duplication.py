@@ -1,0 +1,64 @@
+"""Figure 14: total number of points processed (data duplication) vs ε.
+
+The paper: RP-DBSCAN processes exactly N points ("this total number is
+always equal to the number of points in the data set owing to pseudo
+random partitioning"), while region splits process up to 7.3x more;
+RBP-DBSCAN duplicates the least of the three because minimizing halo
+points is its objective.
+"""
+
+from common import (
+    BENCH_MIN_PTS,
+    TIMEOUT_S,
+    bench_dataset,
+    eps_grid,
+    publish,
+    region_split_algorithms,
+    run_once,
+)
+
+from repro.bench.harness import run_comparison
+from repro.bench.reporting import format_table
+
+
+def run_experiment():
+    out = {}
+    for name in ("GeoLife", "Cosmo50", "OpenStreetMap"):
+        points = bench_dataset(name)
+        for eps in eps_grid(name):
+            rows = run_comparison(
+                region_split_algorithms(eps, BENCH_MIN_PTS),
+                points,
+                timeout_s=TIMEOUT_S,
+                params={"dataset": name, "eps": eps, "n": points.shape[0]},
+            )
+            out[(name, eps, points.shape[0])] = {r.algorithm: r for r in rows}
+    return out
+
+
+def test_fig14_duplication(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    algorithms = ["ESP-DBSCAN", "RBP-DBSCAN", "CBP-DBSCAN", "RP-DBSCAN"]
+    table = [
+        [name, round(eps, 4), n, *(by_algo[a].points_processed for a in algorithms)]
+        for (name, eps, n), by_algo in results.items()
+    ]
+    publish(
+        "fig14_duplication",
+        format_table(
+            ["dataset", "eps", "n", *algorithms],
+            table,
+            title="Fig 14: total points processed across splits",
+        ),
+    )
+
+    for (name, eps, n), by_algo in results.items():
+        rp = by_algo["RP-DBSCAN"]
+        # The invariant the figure highlights: RP-DBSCAN processes each
+        # point exactly once.
+        assert rp.points_processed == n, (name, eps)
+        for other in ("ESP-DBSCAN", "RBP-DBSCAN", "CBP-DBSCAN"):
+            row = by_algo[other]
+            if not row.timed_out:
+                assert row.points_processed >= n, (name, other)

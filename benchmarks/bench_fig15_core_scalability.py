@@ -1,0 +1,111 @@
+"""Figure 15: speed-up vs number of cores (5 -> 40), Cosmo50.
+
+Methodology (see DESIGN.md substitutions): measure every phase's
+per-task durations once, then compute the *total elapsed time* a
+w-worker cluster would need, per phase:
+
+* Phase I-1 (shuffle) — perfectly divisible: ``t / w``;
+* Phases I-2, II, III-2 — maps over partitions: greedy makespan of the
+  measured task times on ``w`` workers;
+* broadcast load — once per executor, concurrently: constant;
+* Phase III-1 — the tournament's critical path (each round's matches
+  run in parallel, Sec 6.1.1): constant in ``w`` (for ``w >= k/2``);
+* region-split baselines: their partitioning plan and shared-point merge
+  are driver-side in their published designs, so they count as serial.
+
+Paper shape: RP-DBSCAN reaches ~4.4x at 40 cores while the region-split
+family saturates around 2.9-3.2x.
+"""
+
+from common import BENCH_MIN_PTS, bench_dataset, publish, run_once
+
+from repro import RPDBSCAN
+from repro.baselines import CBPDBSCAN, ESPDBSCAN, RBPDBSCAN
+from repro.bench.reporting import format_table
+from repro.core.rp_dbscan import (
+    PHASE_CELL_GRAPH,
+    PHASE_DICTIONARY,
+    PHASE_LABEL,
+    PHASE_PARTITION,
+)
+from repro.data.datasets import DATASETS
+from repro.engine.simulate import PhaseSchedule
+
+WORKERS = [5, 10, 20, 40]
+TASKS = 40
+
+
+def _rp_schedule(result) -> PhaseSchedule:
+    counters = result.counters
+    i2_tasks = counters.task_times(PHASE_DICTIONARY)
+    broadcast = max(
+        0.0, counters.phase_seconds.get(PHASE_DICTIONARY, 0.0) - sum(i2_tasks)
+    )
+    return (
+        PhaseSchedule()
+        .add_divisible(counters.phase_seconds.get(PHASE_PARTITION, 0.0))
+        .add_parallel(i2_tasks)
+        .add_constant(broadcast)
+        .add_parallel(counters.task_times(PHASE_CELL_GRAPH))
+        .add_constant(result.merge_stats.critical_path_seconds())
+        .add_parallel(counters.task_times(PHASE_LABEL))
+    )
+
+
+def _region_schedule(result) -> PhaseSchedule:
+    serial = result.phase_seconds.get("partition", 0.0) + result.phase_seconds.get(
+        "merge", 0.0
+    )
+    return PhaseSchedule().add_constant(serial).add_parallel(result.split_task_seconds)
+
+
+def run_experiment():
+    points = bench_dataset("Cosmo50")
+    eps = DATASETS["Cosmo50"].eps10 / 2  # paper uses eps=0.02 of 4-step grid
+    curves = {}
+
+    rp = RPDBSCAN(eps, BENCH_MIN_PTS, TASKS, seed=0).fit(points)
+    curves["RP-DBSCAN"] = _rp_schedule(rp).speedups(WORKERS)
+
+    for name, cls in (
+        ("ESP-DBSCAN", ESPDBSCAN),
+        ("RBP-DBSCAN", RBPDBSCAN),
+        ("CBP-DBSCAN", CBPDBSCAN),
+    ):
+        result = cls(eps, BENCH_MIN_PTS, TASKS).fit(points)
+        curves[name] = _region_schedule(result).speedups(WORKERS)
+    return curves
+
+
+def test_fig15_core_scalability(benchmark):
+    curves = run_once(benchmark, run_experiment)
+
+    table = [
+        [name, *(round(curve[w], 2) for w in WORKERS)]
+        for name, curve in curves.items()
+    ]
+    publish(
+        "fig15_core_scalability",
+        format_table(
+            ["algorithm", *(f"{w} cores" for w in WORKERS)],
+            table,
+            title="Fig 15: speed-up over 5 cores (simulated scheduler replay)",
+        ),
+    )
+
+    rp = curves["RP-DBSCAN"]
+    # Monotone climb for RP-DBSCAN...
+    assert rp[5] <= rp[10] <= rp[20] <= rp[40]
+    # ...with meaningful scaling at 40 workers,
+    assert rp[40] > 2.0
+    # ...and at 40 cores RP-DBSCAN scales at least as well as the
+    # region-split family as a whole.  At bench scale (20k points) the
+    # broadcast/merge constants cap RP's curve, so the comparison is
+    # against the family median with noise slack; the paper's clear
+    # 4.40-vs-3.2 separation needs cluster scale (see EXPERIMENTS.md).
+    import statistics
+
+    family = statistics.median(
+        curves[name][40] for name in ("ESP-DBSCAN", "RBP-DBSCAN", "CBP-DBSCAN")
+    )
+    assert rp[40] >= family * 0.8, (rp[40], family)

@@ -1,0 +1,55 @@
+"""Figure 17 / Table 7: edges remaining after each tournament round.
+
+The paper: the number of cell-graph edges drops sharply every round
+(TeraClickLog: 4.4e8 -> 2.53e6 over five rounds), which is what makes
+the final single-machine merge feasible.
+
+Shape claims: the edge count is non-increasing across rounds, the first
+round removes a substantial fraction, and the tournament has
+ceil(log2(k)) rounds.
+"""
+
+import math
+
+from common import BENCH_MIN_PTS, bench_dataset, eps_grid, publish, run_once
+
+from repro import RPDBSCAN
+from repro.bench.reporting import format_table
+
+PARTITIONS = 32  # 32 splits -> five tournament rounds, as in the paper
+
+
+def run_experiment():
+    out = {}
+    for name in ("GeoLife", "Cosmo50", "OpenStreetMap", "TeraClickLog"):
+        points = bench_dataset(name)
+        for eps in eps_grid(name)[2:]:  # the two largest eps, like Fig 17
+            result = RPDBSCAN(eps, BENCH_MIN_PTS, PARTITIONS, seed=0).fit(points)
+            out[(name, eps)] = result.merge_stats
+    return out
+
+
+def test_fig17_table7_edge_reduction(benchmark):
+    stats = run_once(benchmark, run_experiment)
+
+    max_rounds = max(len(s.edges_per_round) for s in stats.values())
+    table = [
+        [name, round(eps, 4), *s.edges_per_round]
+        for (name, eps), s in stats.items()
+    ]
+    publish(
+        "fig17_table7_edge_reduction",
+        format_table(
+            ["dataset", "eps", *(f"round {i}" for i in range(max_rounds))],
+            table,
+            title="Fig 17 / Table 7: edges remaining after each merge round",
+        ),
+    )
+
+    for (name, eps), merge_stats in stats.items():
+        rounds = merge_stats.edges_per_round
+        assert len(rounds) == 1 + math.ceil(math.log2(PARTITIONS))
+        assert all(a >= b for a, b in zip(rounds, rounds[1:])), (name, eps)
+        if rounds[0] > 0:
+            # Substantial reduction overall (paper: orders of magnitude).
+            assert rounds[-1] <= rounds[0] * 0.7, (name, eps, rounds)

@@ -1,0 +1,62 @@
+"""Figures 20-21: scalability to the data size (Appendix B.3).
+
+Workload: 5-d Gaussian mixture with alpha = 8, sizes spanning 16x (the
+paper spans 5 GB -> 80 GB; here 2k -> 32k points).
+
+Paper shapes:
+* Fig 20 — elapsed time grows near-linearly with data size (paper:
+  15.2x time for 16x data);
+* Fig 21 — Phase II's share of the time grows with data size (to ~80%)
+  while Phases I and III stay minor.
+"""
+
+from common import publish, run_once
+
+from repro import RPDBSCAN
+from repro.bench.reporting import format_table, render_stacked_bars
+from repro.core.rp_dbscan import PHASE_CELL_GRAPH, PHASES
+from repro.data.generators import gaussian_mixture
+
+SIZES = [2000, 4000, 8000, 16_000, 32_000]
+EPS = 5.0
+MIN_PTS = 20
+
+
+def run_experiment():
+    out = {}
+    for n in SIZES:
+        points = gaussian_mixture(n, dim=5, components=10, alpha=8.0, seed=0)
+        result = RPDBSCAN(EPS, MIN_PTS, 16, seed=0).fit(points)
+        out[n] = (result.total_seconds, result.phase_breakdown())
+    return out
+
+
+def test_fig20_21_data_scalability(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    time_rows = [[n, round(results[n][0], 3)] for n in SIZES]
+    breakdown_rows = [
+        [n, *(round(results[n][1][phase], 3) for phase in PHASES)] for n in SIZES
+    ]
+    publish(
+        "fig20_21_data_scalability",
+        format_table(["n", "elapsed (s)"], time_rows, title="Fig 20: elapsed vs size")
+        + "\n\n"
+        + format_table(
+            ["n", *PHASES], breakdown_rows, title="Fig 21: breakdown vs size"
+        )
+        + "\n\n"
+        + render_stacked_bars({n: results[n][1] for n in SIZES}),
+    )
+
+    times = [results[n][0] for n in SIZES]
+    # Time grows with size...
+    assert all(a <= b * 1.15 for a, b in zip(times, times[1:])), times
+    # ...and near-linearly: 16x data costs at most ~3x-per-doubling
+    # worse than linear (paper: 15.2x for 16x; allow generous slack for
+    # Python constant factors).
+    assert times[-1] / times[0] < 16 * 3, times
+    # Phase II dominates at the largest size (Fig 21's 80%).
+    top_breakdown = results[SIZES[-1]][1]
+    assert top_breakdown[PHASE_CELL_GRAPH] == max(top_breakdown.values())
+    assert top_breakdown[PHASE_CELL_GRAPH] > 0.4

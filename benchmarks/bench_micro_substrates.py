@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the substrate hot paths (pytest-benchmark).
+
+Not a paper figure — these track the building blocks whose cost the
+system figures are made of: cell assignment, dictionary building,
+pseudo random partitioning, (eps, rho)-region queries, kd-tree ball
+queries, union-find merging, and the full RP-DBSCAN pipeline at a small
+fixed size.  Useful as a regression baseline when optimizing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RPDBSCAN
+from repro.core.cells import CellGeometry
+from repro.core.dictionary import CellDictionary
+from repro.core.partitioning import pseudo_random_partition
+from repro.core.region_query import RegionQueryEngine
+from repro.graph.union_find import UnionFind
+from repro.spatial.grid import group_points_by_cell
+from repro.spatial.kdtree import KDTree
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [rng.normal([0, 0], 0.5, (5000, 2)), rng.uniform(-3, 3, (5000, 2))]
+    )
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return CellGeometry(eps=0.2, dim=2, rho=0.01)
+
+
+@pytest.fixture(scope="module")
+def dictionary(points, geometry):
+    return CellDictionary.from_points(points, geometry)
+
+
+def test_micro_cell_grouping(benchmark, points, geometry):
+    benchmark(group_points_by_cell, points, geometry.side)
+
+
+def test_micro_dictionary_build(benchmark, points, geometry):
+    benchmark(CellDictionary.from_points, points, geometry)
+
+
+def test_micro_partitioning(benchmark, points, geometry):
+    benchmark(pseudo_random_partition, points, geometry, 8, seed=0)
+
+
+def test_micro_region_query_batch(benchmark, points, geometry, dictionary):
+    engine = RegionQueryEngine(dictionary)
+    cell_id = geometry.grid.cell_id_of(points[0])
+    ids = geometry.cell_ids(points)
+    members = points[np.all(ids == np.array(cell_id), axis=1)]
+    benchmark(engine.query_cell_batch, cell_id, members)
+
+
+def test_micro_kdtree_query(benchmark, points):
+    tree = KDTree(points)
+    benchmark(tree.query_ball, np.zeros(2), 0.5)
+
+
+def test_micro_union_find(benchmark):
+    edges = [(i, (i * 7 + 3) % 2000) for i in range(2000)]
+
+    def run():
+        uf = UnionFind()
+        for a, b in edges:
+            uf.union(a, b)
+        return uf.set_count
+
+    benchmark(run)
+
+
+def test_micro_rp_dbscan_end_to_end(benchmark, points):
+    benchmark.pedantic(
+        lambda: RPDBSCAN(0.2, 15, 8, seed=0).fit(points), rounds=3, iterations=1
+    )

@@ -1,0 +1,94 @@
+"""Shared machinery for the table/figure reproduction benches.
+
+Every bench follows the same pattern: run the experiment once (under
+``benchmark.pedantic`` so pytest-benchmark records its wall time), render
+the paper-style table with :mod:`repro.bench.reporting`, write it to
+``benchmarks/results/<name>.txt``, print it, and assert the paper's
+*shape* claims (who wins, monotonicity, crossovers) — never absolute
+numbers, since the substrate is a simulator, not the authors' cluster.
+
+Workload sizes here are laptop-scale versions of the paper's: DESIGN.md
+documents the substitution.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro import RPDBSCAN
+from repro.baselines import (
+    CBPDBSCAN,
+    ESPDBSCAN,
+    NGDBSCAN,
+    RBPDBSCAN,
+    SparkDBSCAN,
+)
+from repro.data.datasets import DATASETS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Bench-scale point counts per data set (paper scale in Table 3 is
+#: 2.5e7 ... 4.4e9; the shapes reproduce at 1e3-1e4).
+BENCH_SIZES = {
+    "GeoLife": 20_000,
+    "Cosmo50": 20_000,
+    "OpenStreetMap": 20_000,
+    "TeraClickLog": 4000,
+}
+
+#: minPts used at bench scale (the paper uses 100 at cluster scale).
+BENCH_MIN_PTS = 20
+
+#: Per-run wall-clock budget, mirroring the paper's 20,000 s cutoff.
+TIMEOUT_S = 120.0
+
+
+@lru_cache(maxsize=None)
+def bench_dataset(name: str, n: int | None = None) -> np.ndarray:
+    """The cached stand-in data set at bench scale."""
+    spec = DATASETS[name]
+    return spec.generator(n or BENCH_SIZES[name], seed=0)
+
+
+def eps_grid(name: str) -> list[float]:
+    """The paper's ε grid: {ε10/8, ε10/4, ε10/2, ε10} (Sec 7.1.4)."""
+    eps10 = DATASETS[name].eps10
+    return [eps10 / 8, eps10 / 4, eps10 / 2, eps10]
+
+
+def parallel_algorithms(eps: float, min_pts: int, k: int = 8) -> dict:
+    """Factories for the six parallel algorithms of Table 2."""
+    return {
+        "SPARK-DBSCAN": lambda: SparkDBSCAN(eps, min_pts, k),
+        "NG-DBSCAN": lambda: NGDBSCAN(eps, min_pts, seed=0),
+        "ESP-DBSCAN": lambda: ESPDBSCAN(eps, min_pts, k),
+        "RBP-DBSCAN": lambda: RBPDBSCAN(eps, min_pts, k),
+        "CBP-DBSCAN": lambda: CBPDBSCAN(eps, min_pts, k),
+        "RP-DBSCAN": lambda: RPDBSCAN(eps, min_pts, k, seed=0),
+    }
+
+
+def region_split_algorithms(eps: float, min_pts: int, k: int = 8) -> dict:
+    """The region-split family plus RP-DBSCAN (Figs 13-14)."""
+    return {
+        "ESP-DBSCAN": lambda: ESPDBSCAN(eps, min_pts, k),
+        "RBP-DBSCAN": lambda: RBPDBSCAN(eps, min_pts, k),
+        "CBP-DBSCAN": lambda: CBPDBSCAN(eps, min_pts, k),
+        "RP-DBSCAN": lambda: RPDBSCAN(eps, min_pts, k, seed=0),
+    }
+
+
+def publish(name: str, text: str) -> None:
+    """Write a reproduction table to the results dir and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Broadcast bytes and online prediction: deploying a fitted clustering.
+
+Run with::
+
+    python examples/broadcast_and_predict.py
+
+Two deployment-oriented features built on the paper's machinery:
+
+1. **The dictionary as a wire format** — the two-level cell dictionary
+   is serialized into the exact bit-packed layout of Lemma 4.3 (float32
+   cell positions, int32 densities, d*(h-1)-bit sub-cell orderings),
+   which is what a Spark driver would broadcast.  The example measures
+   the real byte stream against the raw data and against the paper's
+   size formula, then proves a worker can answer region queries from
+   the deserialized copy alone.
+2. **Classifying new points** — a fitted clustering is frozen into a
+   :class:`ClusterModel` that assigns incoming points to clusters by
+   DBSCAN's border rule (nearest core within eps, else noise).
+"""
+
+import numpy as np
+
+from repro import RPDBSCAN, CellDictionary, CellGeometry, ClusterModel, RegionQueryEngine
+from repro.core import deserialize_dictionary, serialize_dictionary
+from repro.data import openstreetmap_like
+
+
+def main() -> None:
+    points = openstreetmap_like(30_000, seed=2)
+    eps, min_pts = 3.5, 30
+
+    # --- 1. The broadcast payload -----------------------------------
+    geometry = CellGeometry(eps, points.shape[1], rho=0.01)
+    dictionary = CellDictionary.from_points(points, geometry)
+    payload = serialize_dictionary(dictionary)
+    model = dictionary.size_model()
+    raw_bytes = 4 * points.size  # the paper stores float32 features
+    print(f"data set:            {points.shape[0]} x {points.shape[1]} "
+          f"({raw_bytes / 1024:.0f} KiB as float32)")
+    print(f"dictionary stream:   {len(payload) / 1024:.1f} KiB "
+          f"({len(payload) / raw_bytes:.2%} of the data)")
+    print(f"Lemma 4.3 estimate:  {model.total_bytes / 1024:.1f} KiB")
+
+    worker_dict = deserialize_dictionary(payload)
+    engine = RegionQueryEngine(worker_dict)
+    count, _ = engine.query_point(points[0])
+    print(f"worker-side (eps,rho)-region query from bytes alone: "
+          f"|N({points[0].round(2)})| ~= {count:.0f}")
+
+    # --- 2. Fit once, classify forever ------------------------------
+    result = RPDBSCAN(eps, min_pts, num_partitions=8).fit(points)
+    print(f"\nfitted: {result.n_clusters} clusters, {result.noise_count} noise")
+    frozen = ClusterModel(points, result.labels, result.core_mask, eps=eps)
+    print(f"model keeps {frozen.n_core_points} core points")
+
+    new_points = openstreetmap_like(2000, seed=99)
+    predicted = frozen.predict(new_points)
+    assigned = int((predicted >= 0).sum())
+    print(
+        f"classified {new_points.shape[0]} unseen points: "
+        f"{assigned} into clusters, {new_points.shape[0] - assigned} noise"
+    )
+
+
+if __name__ == "__main__":
+    main()

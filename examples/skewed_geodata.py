@@ -1,0 +1,72 @@
+"""Skewed geodata: why random partitioning beats region splitting.
+
+Run with::
+
+    python examples/skewed_geodata.py
+
+The paper's motivating scenario (Sec 1.1): on heavily skewed spatial
+data — most points in one metro area, the rest spread over dozens of
+cities — region-split parallel DBSCAN suffers load imbalance and data
+duplication.  This example clusters a GeoLife-like workload with
+RP-DBSCAN and the three region-split baselines and prints the paper's
+three problem metrics side by side.
+"""
+
+from repro import RPDBSCAN
+from repro.baselines import CBPDBSCAN, ESPDBSCAN, RBPDBSCAN
+from repro.bench.harness import run_comparison
+from repro.bench.reporting import format_table
+from repro.data import geolife_like
+
+
+def main() -> None:
+    points = geolife_like(15_000, seed=3)
+    eps, min_pts, k = 3.0, 30, 8
+
+    algorithms = {
+        "ESP-DBSCAN (even split)": lambda: ESPDBSCAN(eps, min_pts, k),
+        "RBP-DBSCAN (reduced boundary)": lambda: RBPDBSCAN(eps, min_pts, k),
+        "CBP-DBSCAN (cost based)": lambda: CBPDBSCAN(eps, min_pts, k),
+        "RP-DBSCAN (random cells)": lambda: RPDBSCAN(eps, min_pts, k),
+    }
+    rows = run_comparison(algorithms, points, params={"eps": eps})
+
+    table = []
+    for row in rows:
+        duplication = row.points_processed / points.shape[0]
+        table.append(
+            [
+                row.algorithm,
+                row.elapsed_s,
+                row.n_clusters,
+                row.load_imbalance,
+                row.points_processed,
+                duplication,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "algorithm",
+                "elapsed (s)",
+                "clusters",
+                "load imbalance",
+                "pts processed",
+                "duplication x",
+            ],
+            table,
+            title=(
+                f"GeoLife-like skewed data, n={points.shape[0]}, eps={eps}, "
+                f"minPts={min_pts}, k={k} splits"
+            ),
+        )
+    )
+    print(
+        "\nRP-DBSCAN processes each point exactly once (duplication 1.0) and\n"
+        "keeps near-perfect load balance; region splits duplicate halo points\n"
+        "and the split holding the metro blob dominates the clock (Figs 13-14)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""RP-DBSCAN reproduction (Song & Lee, SIGMOD 2018).
+
+A full Python implementation of RP-DBSCAN — parallel DBSCAN via pseudo
+random partitioning of cells and a broadcast two-level cell dictionary —
+together with every substrate and baseline the paper's evaluation needs:
+an execution engine, spatial indexes, exact and rho-approximate DBSCAN,
+the region-split family (ESP / RBP / CBP / SPARK), NG-DBSCAN, data
+generators, and clustering metrics.
+
+Quickstart::
+
+    import numpy as np
+    from repro import RPDBSCAN
+
+    points = np.random.default_rng(0).normal(size=(10_000, 2))
+    result = RPDBSCAN(eps=0.1, min_pts=20, num_partitions=8).fit(points)
+    print(result.n_clusters, result.labels)
+"""
+
+from repro.core import (
+    RPDBSCAN,
+    CellDictionary,
+    CellGeometry,
+    ClusterModel,
+    RegionQueryEngine,
+    RPDBSCANResult,
+)
+from repro.engine import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RPDBSCAN",
+    "RPDBSCANResult",
+    "CellGeometry",
+    "CellDictionary",
+    "RegionQueryEngine",
+    "ClusterModel",
+    "Engine",
+    "__version__",
+]

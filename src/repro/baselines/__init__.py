@@ -1,0 +1,46 @@
+"""Every comparison algorithm from the paper's Table 2.
+
+* :class:`~repro.baselines.dbscan.ExactDBSCAN` — the original DBSCAN
+  (grid-accelerated but exact); ground truth for accuracy experiments.
+* :class:`~repro.baselines.rho_dbscan.RhoDBSCAN` — single-machine
+  rho-approximate DBSCAN (Gan & Tao), the local clusterer used inside
+  the region-split baselines with rho-approximation.
+* :class:`~repro.baselines.esp_dbscan.ESPDBSCAN` — even-split
+  partitioning (RDD-DBSCAN) with rho-approximation.
+* :class:`~repro.baselines.rbp_dbscan.RBPDBSCAN` — reduced-boundary
+  partitioning (DBSCAN-MR) with rho-approximation.
+* :class:`~repro.baselines.cbp_dbscan.CBPDBSCAN` — cost-based
+  partitioning (MR-DBSCAN) with rho-approximation.
+* :class:`~repro.baselines.spark_dbscan.SparkDBSCAN` — cost-based
+  partitioning *without* rho-approximation (exact local DBSCAN).
+* :class:`~repro.baselines.ng_dbscan.NGDBSCAN` — vertex-centric
+  neighbor-graph DBSCAN.
+* :class:`~repro.baselines.naive_random.NaiveRandomDBSCAN` — the naive
+  point-level random split of Sec 2.2.1 (accuracy ablation).
+
+All expose ``fit(points) -> BaselineResult`` with labels, per-split task
+times, and duplication counts so the harness can compute the paper's
+efficiency metrics uniformly.
+"""
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.cbp_dbscan import CBPDBSCAN
+from repro.baselines.dbscan import ExactDBSCAN
+from repro.baselines.esp_dbscan import ESPDBSCAN
+from repro.baselines.naive_random import NaiveRandomDBSCAN
+from repro.baselines.ng_dbscan import NGDBSCAN
+from repro.baselines.rbp_dbscan import RBPDBSCAN
+from repro.baselines.rho_dbscan import RhoDBSCAN
+from repro.baselines.spark_dbscan import SparkDBSCAN
+
+__all__ = [
+    "BaselineResult",
+    "ExactDBSCAN",
+    "RhoDBSCAN",
+    "ESPDBSCAN",
+    "RBPDBSCAN",
+    "CBPDBSCAN",
+    "SparkDBSCAN",
+    "NGDBSCAN",
+    "NaiveRandomDBSCAN",
+]

@@ -1,0 +1,97 @@
+"""Common result type and interface for all baseline algorithms.
+
+Every baseline returns a :class:`BaselineResult` holding the labels plus
+the measurements the evaluation figures need: per-split local-clustering
+task times (load imbalance, Fig 13) and the number of points processed
+per split (duplication, Fig 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["BaselineResult", "ClusteringAlgorithm"]
+
+
+@dataclass
+class BaselineResult:
+    """Uniform output of every clustering algorithm in this repository.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` int64 cluster labels, ``-1`` for noise.
+    core_mask:
+        ``(n,)`` bool core-point flags (may be all-``False`` for
+        algorithms without an explicit core notion, e.g. NG-DBSCAN's
+        seeds are reported here).
+    n_clusters:
+        Number of clusters found.
+    split_task_seconds:
+        Wall time of local clustering per split (empty for
+        single-machine algorithms).
+    split_point_counts:
+        Points processed per split, *including halo duplicates* for
+        region-split algorithms.
+    phase_seconds:
+        Named phase durations (partitioning / local / merge ...).
+    """
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+    n_clusters: int
+    split_task_seconds: list[float] = field(default_factory=list)
+    split_point_counts: list[int] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def noise_count(self) -> int:
+        """Number of points labeled as noise."""
+        return int(np.count_nonzero(self.labels == -1))
+
+    @property
+    def total_seconds(self) -> float:
+        """Total elapsed time across recorded phases."""
+        return sum(self.phase_seconds.values())
+
+    @property
+    def load_imbalance(self) -> float:
+        """Slowest/fastest local-clustering split ratio (Fig 13)."""
+        if len(self.split_task_seconds) < 2:
+            return 1.0
+        fastest = max(min(self.split_task_seconds), 1e-9)
+        return max(self.split_task_seconds) / fastest
+
+    @property
+    def points_processed(self) -> int:
+        """Total points processed across splits, duplicates included
+        (Fig 14); equals ``len(labels)`` only without duplication."""
+        if self.split_point_counts:
+            return int(sum(self.split_point_counts))
+        return int(self.labels.shape[0])
+
+
+class ClusteringAlgorithm(Protocol):
+    """Interface implemented by every algorithm in this repository."""
+
+    def fit(self, points: np.ndarray) -> BaselineResult:
+        """Cluster ``points`` and return a :class:`BaselineResult`."""
+        ...
+
+
+def relabel_dense(labels: np.ndarray) -> tuple[np.ndarray, int]:
+    """Map arbitrary non-negative labels to dense ``0..k-1`` (noise kept).
+
+    Returns the relabeled array and the number of clusters.
+    """
+    out = np.full(labels.shape[0], -1, dtype=np.int64)
+    mask = labels >= 0
+    if not mask.any():
+        return out, 0
+    unique = np.unique(labels[mask])
+    mapping = {int(old): new for new, old in enumerate(unique)}
+    out[mask] = np.array([mapping[int(v)] for v in labels[mask]], dtype=np.int64)
+    return out, len(unique)

@@ -1,0 +1,30 @@
+"""ESP-DBSCAN: even-split partitioning with rho-approximation.
+
+The paper's reimplementation of RDD-DBSCAN [7] (Table 2): the space is
+recursively cut so that sub-regions hold as equal point counts as
+possible, each split runs rho-approximate local DBSCAN over its region
+plus an ``eps`` halo, and local clusters are merged through shared
+points.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.region_split import RegionSplitDBSCAN, partition_even_split
+
+__all__ = ["ESPDBSCAN"]
+
+
+class ESPDBSCAN(RegionSplitDBSCAN):
+    """Even-split region DBSCAN (RDD-DBSCAN with rho-approximation)."""
+
+    def __init__(
+        self, eps: float, min_pts: int, num_splits: int = 8, *, rho: float = 0.01
+    ) -> None:
+        super().__init__(
+            eps,
+            min_pts,
+            num_splits,
+            partitioner=partition_even_split,
+            local="rho",
+            rho=rho,
+        )

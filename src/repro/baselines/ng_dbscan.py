@@ -1,0 +1,265 @@
+"""NG-DBSCAN: vertex-centric neighbor-graph DBSCAN (Lulli et al., 2016).
+
+The graph-based comparator of Table 2.  NG-DBSCAN never performs region
+queries; instead it:
+
+1. **Phase 1** — grows an approximation of the ``eps``-neighbor graph
+   from a random starting configuration, NN-Descent style: every node
+   keeps its ``k`` closest known vertices and, each superstep, learns
+   about its neighbors' neighbors.  Pairs discovered within ``eps`` are
+   accumulated into the epsilon-graph.  Nodes deactivate once they know
+   enough epsilon-neighbors; the loop stops when few nodes remain active
+   or after a superstep budget.
+2. **Phase 2** — marks nodes with at least ``minPts`` epsilon-neighbors
+   (self included) as core, forms clusters as connected components of
+   core nodes in the epsilon-graph, and attaches border nodes to a
+   neighboring core's cluster.
+
+The output approximates DBSCAN: with enough supersteps the epsilon-graph
+converges and the clustering matches; with few supersteps clusters can
+fragment — exactly the accuracy/time trade-off the original paper
+describes.  Being iterative over the full point set, it is also the
+slowest scalable baseline on large inputs, which reproduces its position
+in Fig 11a.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, relabel_dense
+from repro.graph.union_find import UnionFind
+
+__all__ = ["NGDBSCAN"]
+
+
+class NGDBSCAN:
+    """Vertex-centric approximate DBSCAN.
+
+    Parameters
+    ----------
+    eps, min_pts:
+        DBSCAN parameters.
+    k_neighbors:
+        Size of each node's candidate neighbor list (the original
+        implementation's default is 10).
+    max_supersteps:
+        Superstep budget for Phase 1.
+    termination_fraction:
+        Stop when fewer than this fraction of nodes remain active.
+    seed:
+        RNG seed for the random starting configuration.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        *,
+        k_neighbors: int = 10,
+        max_supersteps: int = 12,
+        termination_fraction: float = 0.01,
+        seed: int | None = 0,
+    ) -> None:
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_pts < 1:
+            raise ValueError("min_pts must be >= 1")
+        if k_neighbors < 1:
+            raise ValueError("k_neighbors must be >= 1")
+        self.eps = float(eps)
+        self.min_pts = int(min_pts)
+        self.k_neighbors = int(k_neighbors)
+        self.max_supersteps = int(max_supersteps)
+        self.termination_fraction = float(termination_fraction)
+        self.seed = seed
+
+    def fit(self, points: np.ndarray) -> BaselineResult:
+        """Cluster ``points`` via the neighbor-graph approximation."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        n = pts.shape[0]
+        if n == 0:
+            return BaselineResult(
+                labels=np.empty(0, dtype=np.int64),
+                core_mask=np.empty(0, dtype=bool),
+                n_clusters=0,
+            )
+        t0 = time.perf_counter()
+        eps_adjacency = self._build_eps_graph(pts)
+        t1 = time.perf_counter()
+        labels, core_mask, n_clusters = self._phase2(eps_adjacency, n)
+        t2 = time.perf_counter()
+        return BaselineResult(
+            labels=labels,
+            core_mask=core_mask,
+            n_clusters=n_clusters,
+            phase_seconds={"phase1 neighbor graph": t1 - t0, "phase2 clustering": t2 - t1},
+        )
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` and return only the label array."""
+        return self.fit(points).labels
+
+    # ------------------------------------------------------------------
+    # Phase 1: epsilon-graph construction
+    # ------------------------------------------------------------------
+
+    def _build_eps_graph(self, pts: np.ndarray) -> list[set[int]]:
+        n = pts.shape[0]
+        k = min(self.k_neighbors, max(1, n - 1))
+        rng = np.random.default_rng(self.seed)
+        # Random starting neighbor lists (avoid self by shifting).
+        neighbors = rng.integers(0, n - 1, size=(n, k), dtype=np.int64)
+        shift = neighbors >= np.arange(n)[:, None]
+        neighbors = neighbors + shift
+        neighbor_dists = self._distances_rowwise(pts, neighbors)
+
+        # Enough epsilon-neighbors to decide coreness; extra headroom so
+        # border attachment has candidates.
+        cap = max(2 * self.min_pts, 32)
+        eps_adjacency: list[set[int]] = [set() for _ in range(n)]
+        self._absorb(pts, np.arange(n), neighbors, neighbor_dists, eps_adjacency, cap)
+
+        active = np.ones(n, dtype=bool)
+        for _ in range(self.max_supersteps):
+            active_idx = np.nonzero(active)[0]
+            if active_idx.size <= self.termination_fraction * n:
+                break
+            improved = self._superstep(
+                pts, active_idx, neighbors, neighbor_dists, eps_adjacency, cap
+            )
+            # Deactivate nodes that learned nothing new or know enough.
+            saturated = np.array(
+                [len(eps_adjacency[i]) >= cap for i in active_idx], dtype=bool
+            )
+            active[active_idx] = improved & ~saturated
+        return eps_adjacency
+
+    def _superstep(
+        self,
+        pts: np.ndarray,
+        active_idx: np.ndarray,
+        neighbors: np.ndarray,
+        neighbor_dists: np.ndarray,
+        eps_adjacency: list[set[int]],
+        cap: int,
+    ) -> np.ndarray:
+        """One vertex-centric superstep: probe neighbors-of-neighbors.
+
+        Returns a boolean array aligned with ``active_idx``: whether the
+        node's candidate list improved this superstep.
+        """
+        n, k = neighbors.shape
+        improved = np.zeros(active_idx.size, dtype=bool)
+        chunk = max(1, 200_000 // max(k * k, 1))
+        for start in range(0, active_idx.size, chunk):
+            rows = active_idx[start : start + chunk]
+            own = neighbors[rows]  # (m, k)
+            # Neighbors of neighbors: (m, k*k).
+            candidates = neighbors[own].reshape(rows.size, k * k)
+            candidates = np.concatenate([own, candidates], axis=1)
+            dists = self._distances_rowwise(pts, candidates, rows)
+            # Self-candidates get infinite distance so they are ignored.
+            dists[candidates == rows[:, None]] = np.inf
+            self._absorb(pts, rows, candidates, dists, eps_adjacency, cap)
+            # Keep the k closest distinct candidates per node.
+            order = np.argsort(dists, axis=1, kind="stable")
+            for local, row in enumerate(rows):
+                seen: list[int] = []
+                seen_set: set[int] = set()
+                for j in order[local]:
+                    candidate = int(candidates[local, j])
+                    if candidate in seen_set or not np.isfinite(dists[local, j]):
+                        continue
+                    seen.append(candidate)
+                    seen_set.add(candidate)
+                    if len(seen) == k:
+                        break
+                if len(seen) < k:  # pad with current list
+                    for candidate in neighbors[row]:
+                        if int(candidate) not in seen_set:
+                            seen.append(int(candidate))
+                            seen_set.add(int(candidate))
+                        if len(seen) == k:
+                            break
+                new_row = np.array(seen[:k], dtype=np.int64)
+                if new_row.shape[0] == k and not np.array_equal(
+                    new_row, neighbors[row]
+                ):
+                    improved[start + local] = True
+                    neighbors[row, : new_row.shape[0]] = new_row
+                    diff = pts[new_row] - pts[row]
+                    neighbor_dists[row, : new_row.shape[0]] = np.sqrt(
+                        np.einsum("ij,ij->i", diff, diff)
+                    )
+        return improved
+
+    @staticmethod
+    def _distances_rowwise(
+        pts: np.ndarray, columns: np.ndarray, rows: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Distances from point ``rows[i]`` to each ``columns[i, j]``."""
+        if rows is None:
+            rows = np.arange(columns.shape[0])
+        diff = pts[columns] - pts[rows][:, None, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+    def _absorb(
+        self,
+        pts: np.ndarray,
+        rows: np.ndarray,
+        candidates: np.ndarray,
+        dists: np.ndarray,
+        eps_adjacency: list[set[int]],
+        cap: int,
+    ) -> None:
+        """Record discovered epsilon-pairs (both directions, capped)."""
+        within = dists <= self.eps
+        for local, row in enumerate(rows):
+            row = int(row)
+            if not within[local].any():
+                continue
+            bucket = eps_adjacency[row]
+            for j in np.nonzero(within[local])[0]:
+                other = int(candidates[local, j])
+                if other == row:
+                    continue
+                if len(bucket) < cap:
+                    bucket.add(other)
+                other_bucket = eps_adjacency[other]
+                if len(other_bucket) < cap:
+                    other_bucket.add(row)
+
+    # ------------------------------------------------------------------
+    # Phase 2: clustering on the epsilon-graph
+    # ------------------------------------------------------------------
+
+    def _phase2(
+        self, eps_adjacency: list[set[int]], n: int
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        core_mask = np.array(
+            [len(adj) + 1 >= self.min_pts for adj in eps_adjacency], dtype=bool
+        )
+        uf = UnionFind(int(i) for i in np.nonzero(core_mask)[0])
+        for node in np.nonzero(core_mask)[0]:
+            node = int(node)
+            for other in eps_adjacency[node]:
+                if core_mask[other]:
+                    uf.union(node, other)
+        component = uf.component_labels()
+        labels = np.full(n, -1, dtype=np.int64)
+        for node, label in component.items():
+            labels[node] = label
+        for node in range(n):
+            if core_mask[node] or labels[node] >= 0:
+                continue
+            for other in sorted(eps_adjacency[node]):
+                if core_mask[other]:
+                    labels[node] = component[other]
+                    break
+        labels, n_clusters = relabel_dense(labels)
+        return labels, core_mask, n_clusters

@@ -1,0 +1,384 @@
+"""The region-split parallel DBSCAN family (paper Sec 2.2.2, Table 2).
+
+These baselines split the *space* into ``k`` contiguous, disjoint core
+regions, give each split its core-region points plus a halo of width
+``eps`` (the overlap that the same-split restriction requires), run a
+local DBSCAN per split, and merge local clusters through the points
+shared by overlapping splits.
+
+The framework is shared; the three published strategies differ only in
+how the cut positions are chosen:
+
+* **even-split** (RDD-DBSCAN / ESP-DBSCAN): split the most populated
+  region at the median of its widest axis, equalizing point counts.
+* **reduced-boundary** (DBSCAN-MR / RBP-DBSCAN): choose the cut that
+  minimizes the number of points inside the ``cut +- eps`` boundary
+  band, subject to a balance constraint.
+* **cost-based** (MR-DBSCAN / CBP- and SPARK-DBSCAN): estimate the local
+  clustering cost of a region from an ``eps``-cell histogram (sum of
+  squared cell counts — region queries are quadratic in local density)
+  and equalize estimated *cost* instead of point count.
+
+Merging is the standard shared-point rule: a halo point marked core by
+*any* split is genuinely core (halo truncation can only undercount a
+neighborhood), so all local clusters containing it are united.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, relabel_dense
+from repro.baselines.dbscan import ExactDBSCAN
+from repro.baselines.rho_dbscan import RhoDBSCAN
+from repro.graph.union_find import UnionFind
+
+__all__ = [
+    "Region",
+    "RegionSplitDBSCAN",
+    "partition_even_split",
+    "partition_reduced_boundary",
+    "partition_cost_based",
+]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open axis-aligned box ``[lo, hi)``; outer faces are infinite.
+
+    Regions produced by the partitioners are pairwise disjoint and
+    jointly cover the whole space, so every point has exactly one owner.
+    """
+
+    lo: tuple[float, ...]
+    hi: tuple[float, ...]
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean ownership mask (half-open box test)."""
+        lo = np.asarray(self.lo)
+        hi = np.asarray(self.hi)
+        return np.all(points >= lo, axis=1) & np.all(points < hi, axis=1)
+
+    def contains_expanded(self, points: np.ndarray, eps: float) -> np.ndarray:
+        """Membership in the box inflated by ``eps`` (core + halo)."""
+        lo = np.asarray(self.lo) - eps
+        hi = np.asarray(self.hi) + eps
+        return np.all(points >= lo, axis=1) & np.all(points < hi, axis=1)
+
+    def split(self, axis: int, cut: float) -> tuple["Region", "Region"]:
+        """Split at ``cut`` along ``axis`` into two half-open boxes."""
+        if not self.lo[axis] < cut <= self.hi[axis]:
+            raise ValueError(f"cut {cut} outside region on axis {axis}")
+        left_hi = list(self.hi)
+        left_hi[axis] = cut
+        right_lo = list(self.lo)
+        right_lo[axis] = cut
+        return (
+            Region(self.lo, tuple(left_hi)),
+            Region(tuple(right_lo), self.hi),
+        )
+
+
+def _root_region(dim: int) -> Region:
+    return Region((-np.inf,) * dim, (np.inf,) * dim)
+
+
+# ----------------------------------------------------------------------
+# Partitioning strategies
+# ----------------------------------------------------------------------
+
+
+def partition_even_split(points: np.ndarray, k: int, eps: float) -> list[Region]:
+    """Even-split partitioning (RDD-DBSCAN): equalize point counts."""
+    return _recursive_partition(points, k, eps, _cut_median)
+
+
+def partition_reduced_boundary(points: np.ndarray, k: int, eps: float) -> list[Region]:
+    """Reduced-boundary partitioning (DBSCAN-MR): minimize halo points."""
+    return _recursive_partition(points, k, eps, _cut_min_boundary)
+
+
+def partition_cost_based(points: np.ndarray, k: int, eps: float) -> list[Region]:
+    """Cost-based partitioning (MR-DBSCAN): equalize estimated cost."""
+    return _recursive_partition(points, k, eps, _cut_balance_cost)
+
+
+def _recursive_partition(points, k, eps, choose_cut) -> list[Region]:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be (n, d)")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    dim = pts.shape[1]
+    root = _root_region(dim)
+    # Max-heap by region point count; counter breaks ties deterministically.
+    heap: list[tuple[int, int, Region, np.ndarray]] = []
+    counter = 0
+    all_idx = np.arange(pts.shape[0])
+    heapq.heappush(heap, (-pts.shape[0], counter, root, all_idx))
+    done: list[Region] = []
+    while heap and len(heap) + len(done) < k:
+        neg_count, _, region, idx = heapq.heappop(heap)
+        sub = pts[idx]
+        cut = choose_cut(sub, eps)
+        if cut is None:
+            done.append(region)
+            continue
+        axis, position = cut
+        left, right = region.split(axis, position)
+        left_mask = sub[:, axis] < position
+        counter += 1
+        heapq.heappush(heap, (-int(left_mask.sum()), counter, left, idx[left_mask]))
+        counter += 1
+        heapq.heappush(
+            heap, (-int((~left_mask).sum()), counter, right, idx[~left_mask])
+        )
+    return done + [entry[2] for entry in heap]
+
+
+def _cut_median(sub: np.ndarray, eps: float) -> tuple[int, float] | None:
+    """Median cut on the widest axis (even split)."""
+    if sub.shape[0] < 2:
+        return None
+    spread = sub.max(axis=0) - sub.min(axis=0)
+    for axis in np.argsort(spread)[::-1]:
+        axis = int(axis)
+        if spread[axis] <= 0:
+            return None
+        position = float(np.median(sub[:, axis]))
+        lo, hi = sub[:, axis].min(), sub[:, axis].max()
+        if lo < position <= hi and (sub[:, axis] < position).any():
+            return axis, position
+    return None
+
+
+def _cut_min_boundary(sub: np.ndarray, eps: float) -> tuple[int, float] | None:
+    """Cut minimizing points within ``eps`` of the cut plane, keeping at
+    least a quarter of the region's points on each side."""
+    n = sub.shape[0]
+    if n < 4:
+        return _cut_median(sub, eps)
+    quantiles = np.linspace(0.25, 0.75, 17)
+    best: tuple[int, int, float] | None = None  # (band_count, axis, cut)
+    for axis in range(sub.shape[1]):
+        values = sub[:, axis]
+        if values.max() - values.min() <= 0:
+            continue
+        candidates = np.unique(np.quantile(values, quantiles))
+        for position in candidates:
+            position = float(position)
+            left = int((values < position).sum())
+            if left < n // 4 or (n - left) < n // 4:
+                continue
+            band = int(((values >= position - eps) & (values < position + eps)).sum())
+            if best is None or band < best[0]:
+                best = (band, axis, position)
+    if best is None:
+        return _cut_median(sub, eps)
+    return best[1], best[2]
+
+
+def _cost_histogram(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Prefix-summable per-point weights sorted by ``values``."""
+    order = np.argsort(values, kind="stable")
+    return order, np.cumsum(weights[order])
+
+
+def _cut_balance_cost(sub: np.ndarray, eps: float) -> tuple[int, float] | None:
+    """Cut equalizing estimated local-clustering cost (cost-based).
+
+    Cost of a region is estimated as ``sum(n_c^2)`` over its ``eps``-side
+    histogram cells: a region query in a cell of density ``n_c`` touches
+    ``O(n_c)`` points and every point issues one query, so local work is
+    quadratic in cell density.  Each point carries a weight equal to its
+    cell's density; prefix sums of weights along an axis then approximate
+    the cost split.
+    """
+    n = sub.shape[0]
+    if n < 2:
+        return None
+    side = max(eps, 1e-12)
+    cells = np.floor(sub / side).astype(np.int64)
+    _, inverse, counts = np.unique(
+        cells, axis=0, return_inverse=True, return_counts=True
+    )
+    weights = counts[inverse].astype(np.float64)  # point weight = its cell density
+    total = float(weights.sum())
+    best: tuple[float, int, float] | None = None  # (imbalance, axis, cut)
+    for axis in range(sub.shape[1]):
+        values = sub[:, axis]
+        if values.max() - values.min() <= 0:
+            continue
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        prefix = np.cumsum(weights[order])
+        # Candidate cuts between distinct coordinates.
+        distinct = np.nonzero(sorted_values[1:] != sorted_values[:-1])[0]
+        if distinct.size == 0:
+            continue
+        left_cost = prefix[distinct]
+        imbalance = np.abs(total - 2.0 * left_cost)
+        pick = int(np.argmin(imbalance))
+        candidate = (
+            float(imbalance[pick]),
+            axis,
+            float(sorted_values[distinct[pick] + 1]),
+        )
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+# ----------------------------------------------------------------------
+# The shared framework
+# ----------------------------------------------------------------------
+
+
+class RegionSplitDBSCAN:
+    """Parallel DBSCAN via contiguous overlapping sub-regions.
+
+    Parameters
+    ----------
+    eps, min_pts:
+        DBSCAN parameters.
+    num_splits:
+        Number of sub-regions ``k``.
+    partitioner:
+        One of the ``partition_*`` functions in this module.
+    local:
+        ``"rho"`` (rho-approximate local DBSCAN, as the paper's
+        ESP/RBP/CBP reimplementations) or ``"exact"`` (SPARK-DBSCAN).
+    rho:
+        Approximation parameter for the ``"rho"`` local clusterer.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        num_splits: int = 8,
+        *,
+        partitioner=partition_cost_based,
+        local: str = "rho",
+        rho: float = 0.01,
+    ) -> None:
+        if local not in ("rho", "exact"):
+            raise ValueError(f"unknown local clusterer {local!r}")
+        self.eps = float(eps)
+        self.min_pts = int(min_pts)
+        self.num_splits = int(num_splits)
+        self.partitioner = partitioner
+        self.local = local
+        self.rho = float(rho)
+
+    def _local_clusterer(self):
+        if self.local == "rho":
+            return RhoDBSCAN(self.eps, self.min_pts, self.rho)
+        return ExactDBSCAN(self.eps, self.min_pts)
+
+    def fit(self, points: np.ndarray) -> BaselineResult:
+        """Split, locally cluster, and merge."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        n = pts.shape[0]
+        if n == 0:
+            return BaselineResult(
+                labels=np.empty(0, dtype=np.int64),
+                core_mask=np.empty(0, dtype=bool),
+                n_clusters=0,
+            )
+        t0 = time.perf_counter()
+        regions = self.partitioner(pts, self.num_splits, self.eps)
+        split_members = [
+            np.nonzero(region.contains_expanded(pts, self.eps))[0] for region in regions
+        ]
+        t_partition = time.perf_counter() - t0
+
+        # Local clustering per split (halo included).
+        clusterer = self._local_clusterer()
+        split_labels: list[np.ndarray] = []
+        split_core: list[np.ndarray] = []
+        task_seconds: list[float] = []
+        point_counts: list[int] = []
+        for members in split_members:
+            start = time.perf_counter()
+            local = clusterer.fit(pts[members])
+            task_seconds.append(time.perf_counter() - start)
+            point_counts.append(int(members.shape[0]))
+            split_labels.append(local.labels)
+            split_core.append(local.core_mask)
+
+        # Merge: union clusters through shared points that are core in
+        # some split; collect per-point assignments.
+        t1 = time.perf_counter()
+        uf = UnionFind()
+        for split_id, labels in enumerate(split_labels):
+            for label in np.unique(labels[labels >= 0]):
+                uf.add((split_id, int(label)))
+        owner_label = np.full(n, -1, dtype=np.int64)
+        any_label: dict[int, tuple[int, int]] = {}
+        assignments: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        core_mask = np.zeros(n, dtype=bool)
+        for split_id, (members, labels, core) in enumerate(
+            zip(split_members, split_labels, split_core)
+        ):
+            for row, point in enumerate(members):
+                label = int(labels[row])
+                if label >= 0:
+                    assignments[int(point)].append((split_id, label))
+                if core[row]:
+                    core_mask[int(point)] = True
+        for point, assigned in enumerate(assignments):
+            if not assigned:
+                continue
+            if core_mask[point]:
+                first = assigned[0]
+                uf.add(first)
+                for other in assigned[1:]:
+                    uf.union(first, other)
+            any_label[point] = assigned[0]
+
+        # Ownership: a point's own region decides; fall back to any split
+        # that assigned it (border points near region boundaries).
+        owner_assignment: dict[int, tuple[int, int]] = {}
+        for split_id, region in enumerate(regions):
+            owned = np.nonzero(region.contains(pts))[0]
+            members = split_members[split_id]
+            position = {int(p): r for r, p in enumerate(members)}
+            labels = split_labels[split_id]
+            for point in owned:
+                row = position.get(int(point))
+                if row is not None and labels[row] >= 0:
+                    owner_assignment[int(point)] = (split_id, int(labels[row]))
+        component = uf.component_labels()
+        for point in range(n):
+            assigned = owner_assignment.get(point, any_label.get(point))
+            if assigned is None:
+                continue
+            rep = component.get(assigned)
+            owner_label[point] = rep if rep is not None else -1
+        labels, n_clusters = relabel_dense(owner_label)
+        t_merge = time.perf_counter() - t1
+        return BaselineResult(
+            labels=labels,
+            core_mask=core_mask,
+            n_clusters=n_clusters,
+            split_task_seconds=task_seconds,
+            split_point_counts=point_counts,
+            phase_seconds={
+                "partition": t_partition,
+                "local": sum(task_seconds),
+                "merge": t_merge,
+            },
+        )
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` and return only the label array."""
+        return self.fit(points).labels

@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment execution and paper-style reporting.
+
+:mod:`repro.bench.harness` runs algorithm sweeps with timeouts and
+repetition; :mod:`repro.bench.reporting` renders the rows as the same
+tables and series the paper's figures show.
+"""
+
+from repro.bench.harness import (
+    AlgorithmTimeout,
+    ExperimentRow,
+    call_with_timeout,
+    find_eps_for_clusters,
+    run_comparison,
+)
+from repro.bench.reporting import format_table, render_ascii_scatter
+
+__all__ = [
+    "AlgorithmTimeout",
+    "ExperimentRow",
+    "call_with_timeout",
+    "find_eps_for_clusters",
+    "run_comparison",
+    "format_table",
+    "render_ascii_scatter",
+]

@@ -1,0 +1,116 @@
+"""Rendering of experiment rows as paper-style tables and series.
+
+Benches print their reproduction of each table/figure through these
+helpers so every bench's output looks the same: a fixed-width table
+whose rows mirror the paper's rows, with ``N/A`` for timed-out runs
+(as in Table 6).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["format_cell", "format_table", "render_ascii_scatter", "render_stacked_bars"]
+
+
+def format_cell(value: Any) -> str:
+    """Human-readable cell: N/A for NaN, compact floats, plain ints."""
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "N/A"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], *, title: str | None = None
+) -> str:
+    """Fixed-width text table with optional title line."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_ascii_scatter(
+    points, labels, *, width: int = 72, height: int = 24, max_clusters: int = 62
+) -> str:
+    """ASCII rendering of a 2-d labeled point set (Fig 16 stand-in).
+
+    Each cluster gets a distinct character; noise is ``.``; empty space
+    is blank.  Only the first two dimensions are drawn.
+    """
+    import numpy as np
+
+    pts = np.asarray(points, dtype=float)[:, :2]
+    labels = np.asarray(labels)
+    if pts.shape[0] == 0:
+        return "(empty)"
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    span = np.where(hi - lo > 0, hi - lo, 1.0)
+    cols = np.minimum(((pts[:, 0] - lo[0]) / span[0] * (width - 1)).astype(int), width - 1)
+    rows = np.minimum(((pts[:, 1] - lo[1]) / span[1] * (height - 1)).astype(int), height - 1)
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    canvas = [[" "] * width for _ in range(height)]
+    for col, row, label in zip(cols, rows, labels):
+        if label < 0:
+            glyph = "."
+        else:
+            glyph = glyphs[int(label) % min(max_clusters, len(glyphs))]
+        current = canvas[height - 1 - row][col]
+        if current == " " or current == ".":
+            canvas[height - 1 - row][col] = glyph
+    return "\n".join("".join(line) for line in canvas)
+
+
+def render_stacked_bars(
+    rows: dict, *, width: int = 60, glyphs: str = "#*=+~o.-"
+) -> str:
+    """Text rendering of stacked fraction bars (Figs 12 and 21).
+
+    ``rows`` maps a row label to an ordered mapping of segment label ->
+    fraction; fractions of one row should sum to ~1.  Every row becomes
+    one bar of ``width`` characters, one glyph per segment, plus a
+    legend line.
+    """
+    lines = []
+    legend_parts: list[str] = []
+    segment_names: list[str] = []
+    for segments in rows.values():
+        for name in segments:
+            if name not in segment_names:
+                segment_names.append(name)
+    for i, name in enumerate(segment_names):
+        legend_parts.append(f"{glyphs[i % len(glyphs)]} = {name}")
+    lines.append("legend: " + ", ".join(legend_parts))
+    label_width = max((len(str(k)) for k in rows), default=0)
+    for label, segments in rows.items():
+        bar = ""
+        for i, name in enumerate(segment_names):
+            fraction = float(segments.get(name, 0.0))
+            bar += glyphs[i % len(glyphs)] * max(0, round(fraction * width))
+        bar = bar[:width].ljust(width)
+        lines.append(f"{str(label).rjust(label_width)} |{bar}|")
+    return "\n".join(lines)

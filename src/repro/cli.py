@@ -1,0 +1,183 @@
+"""``rp-dbscan`` command-line interface.
+
+Four subcommands::
+
+    rp-dbscan generate --dataset GeoLife --n 20000 --out points.npy
+    rp-dbscan cluster points.npy --eps 3 --min-pts 40 --out labels.txt
+    rp-dbscan compare points.npy --eps 3 --min-pts 40 --timeout 120
+    rp-dbscan accuracy points.npy --eps 3 --min-pts 40
+
+``generate`` synthesizes one of the data-set stand-ins, ``cluster`` runs
+RP-DBSCAN on a point file, ``compare`` runs RP-DBSCAN against the
+parallel baselines (Table-6 style), and ``accuracy`` measures the Rand
+index of RP-DBSCAN against exact DBSCAN (Table-4 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import (
+    CBPDBSCAN,
+    ESPDBSCAN,
+    NGDBSCAN,
+    RBPDBSCAN,
+    SparkDBSCAN,
+)
+from repro.bench.harness import run_comparison
+from repro.bench.reporting import format_table
+from repro.core.rp_dbscan import RPDBSCAN
+from repro.data.datasets import DATASETS
+from repro.data.io import load_points, save_labels, save_points
+
+__all__ = ["main"]
+
+
+def _add_dbscan_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--eps", type=float, required=True, help="neighborhood radius")
+    parser.add_argument("--min-pts", type=int, required=True, help="core threshold")
+    parser.add_argument("--rho", type=float, default=0.01, help="approximation rate")
+    parser.add_argument(
+        "--partitions", type=int, default=8, help="number of pseudo random partitions"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="partitioning seed")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = DATASETS.get(args.dataset)
+    if spec is None:
+        known = ", ".join(sorted(DATASETS))
+        print(f"unknown dataset {args.dataset!r}; choose one of: {known}", file=sys.stderr)
+        return 2
+    points = spec.generator(args.n, seed=args.seed)
+    save_points(args.out, points)
+    print(f"wrote {points.shape[0]} x {points.shape[1]} points to {args.out}")
+    print(f"suggested eps10={spec.eps10}, min_pts={spec.min_pts}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    points = load_points(args.points)
+    model = RPDBSCAN(
+        eps=args.eps,
+        min_pts=args.min_pts,
+        num_partitions=args.partitions,
+        rho=args.rho,
+        seed=args.seed,
+    )
+    result = model.fit(points)
+    print(
+        f"clusters={result.n_clusters} noise={result.noise_count} "
+        f"core={int(result.core_mask.sum())} elapsed={result.total_seconds:.3f}s"
+    )
+    for phase, fraction in result.phase_breakdown().items():
+        print(f"  {phase}: {fraction:.1%}")
+    if args.out:
+        save_labels(args.out, result.labels)
+        print(f"labels written to {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    points = load_points(args.points)
+    k = args.partitions
+    algorithms = {
+        "SPARK-DBSCAN": lambda: SparkDBSCAN(args.eps, args.min_pts, k),
+        "NG-DBSCAN": lambda: NGDBSCAN(args.eps, args.min_pts),
+        "ESP-DBSCAN": lambda: ESPDBSCAN(args.eps, args.min_pts, k, rho=args.rho),
+        "RBP-DBSCAN": lambda: RBPDBSCAN(args.eps, args.min_pts, k, rho=args.rho),
+        "CBP-DBSCAN": lambda: CBPDBSCAN(args.eps, args.min_pts, k, rho=args.rho),
+        "RP-DBSCAN": lambda: RPDBSCAN(
+            args.eps, args.min_pts, k, rho=args.rho, seed=args.seed
+        ),
+    }
+    rows = run_comparison(algorithms, points, timeout_s=args.timeout)
+    table = [
+        [
+            row.algorithm,
+            row.elapsed_s,
+            row.n_clusters if not row.timed_out else None,
+            row.noise if not row.timed_out else None,
+            row.load_imbalance,
+            row.points_processed if not row.timed_out else None,
+        ]
+        for row in rows
+    ]
+    print(
+        format_table(
+            ["algorithm", "elapsed (s)", "clusters", "noise", "imbalance", "pts processed"],
+            table,
+            title=f"Comparison on {args.points} (eps={args.eps}, minPts={args.min_pts})",
+        )
+    )
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.baselines import ExactDBSCAN
+    from repro.metrics import rand_index, summarize_clustering
+
+    points = load_points(args.points)
+    exact = ExactDBSCAN(args.eps, args.min_pts).fit(points)
+    approx = RPDBSCAN(
+        args.eps,
+        args.min_pts,
+        args.partitions,
+        rho=args.rho,
+        seed=args.seed,
+    ).fit(points)
+    index = rand_index(exact.labels, approx.labels)
+    print(f"exact DBSCAN:  {summarize_clustering(exact.labels).describe()}")
+    print(f"RP-DBSCAN:     {summarize_clustering(approx.labels).describe()}")
+    print(f"Rand index (rho={args.rho}): {index:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rp-dbscan",
+        description="RP-DBSCAN (SIGMOD 2018) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="synthesize a data-set stand-in")
+    generate.add_argument("--dataset", required=True, help="name from Table 3")
+    generate.add_argument("--n", type=int, default=20_000, help="number of points")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output .npy or .csv path")
+    generate.set_defaults(func=_cmd_generate)
+
+    cluster = sub.add_parser("cluster", help="run RP-DBSCAN on a point file")
+    cluster.add_argument("points", help="input .npy or .csv point file")
+    _add_dbscan_args(cluster)
+    cluster.add_argument("--out", help="optional label output path")
+    cluster.set_defaults(func=_cmd_cluster)
+
+    compare = sub.add_parser("compare", help="run all parallel algorithms")
+    compare.add_argument("points", help="input .npy or .csv point file")
+    _add_dbscan_args(compare)
+    compare.add_argument(
+        "--timeout", type=float, default=None, help="per-algorithm budget in seconds"
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    accuracy = sub.add_parser(
+        "accuracy", help="Rand index of RP-DBSCAN vs exact DBSCAN"
+    )
+    accuracy.add_argument("points", help="input .npy or .csv point file")
+    _add_dbscan_args(accuracy)
+    accuracy.set_defaults(func=_cmd_accuracy)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,359 @@
+"""Cell graphs: vertices are cells, edges are reachability (Def 5.8).
+
+A cell graph ``G = (V, E)`` has three vertex classes — core, non-core,
+and *undetermined* (cells referenced from another partition whose core
+status is unknown locally) — and three edge classes:
+
+* **full** (``C1 => C2``): both cells core; all points of both belong to
+  one cluster; direction is irrelevant (Lemma 3.5, "Fully").
+* **partial** (``C1 ~> C2``): ``C2`` is not core; only the points of
+  ``C2`` within ``eps`` of a core point of ``C1`` join the cluster.
+* **undetermined** (``C1 ?> C2``): ``C2`` lives in another partition, so
+  its core status — and hence the edge type — is resolved during merging.
+
+The *global* cell graph (Def 6.1) is a cell graph with no undetermined
+vertices or edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.core.cells import CellId
+from repro.graph.union_find import UnionFind
+
+__all__ = ["EdgeType", "CellGraph"]
+
+
+class EdgeType(IntEnum):
+    """Directly-reachable relationship class between two cells."""
+
+    FULL = 0
+    PARTIAL = 1
+    UNDETERMINED = 2
+
+
+@dataclass
+class CellGraph:
+    """Mutable cell (sub)graph for one partition or a merger of several.
+
+    Edges are keyed by the ordered pair ``(src, dst)``; ``src`` is always
+    a core cell because only core cells initiate reachability.
+    """
+
+    core: set[CellId] = field(default_factory=set)
+    noncore: set[CellId] = field(default_factory=set)
+    undetermined: set[CellId] = field(default_factory=set)
+    edges: dict[tuple[CellId, CellId], EdgeType] = field(default_factory=dict)
+    # Keys of edges whose type is still UNDETERMINED; kept in sync so
+    # type detection after a merge only visits unresolved edges.
+    _undetermined_edges: set[tuple[CellId, CellId]] = field(default_factory=set)
+    # Index of undetermined edges by destination cell: an edge can only
+    # resolve when its destination becomes determined, so type detection
+    # scans distinct destinations instead of every undetermined edge.
+    _undetermined_by_dst: dict[CellId, set[tuple[CellId, CellId]]] = field(
+        default_factory=dict, repr=False
+    )
+    # Incremental spanning forest over full edges (Sec 6.1.4): the keys
+    # in _pending_full are full edges not yet tested against the forest.
+    _full_forest: UnionFind = field(default_factory=UnionFind, repr=False)
+    _pending_full: list[tuple[CellId, CellId]] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges of all types."""
+        return len(self.edges)
+
+    @property
+    def num_vertices(self) -> int:
+        """Total number of vertices of all classes."""
+        return len(self.core) + len(self.noncore) + len(self.undetermined)
+
+    def is_global(self) -> bool:
+        """Definition 6.1: no undetermined vertices or edges remain."""
+        if self.undetermined:
+            return False
+        return all(t is not EdgeType.UNDETERMINED for t in self.edges.values())
+
+    def edges_of_type(self, edge_type: EdgeType) -> list[tuple[CellId, CellId]]:
+        """All edges of one type, sorted for determinism."""
+        return sorted(key for key, t in self.edges.items() if t is edge_type)
+
+    def vertex_status(self, cell: CellId) -> str:
+        """``"core"``, ``"noncore"``, ``"undetermined"``, or ``"absent"``."""
+        if cell in self.core:
+            return "core"
+        if cell in self.noncore:
+            return "noncore"
+        if cell in self.undetermined:
+            return "undetermined"
+        return "absent"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_core_cell(self, cell: CellId) -> None:
+        """Register ``cell`` as core (promoting from any other class)."""
+        self.noncore.discard(cell)
+        self.undetermined.discard(cell)
+        self.core.add(cell)
+
+    def add_noncore_cell(self, cell: CellId) -> None:
+        """Register ``cell`` as determined non-core."""
+        if cell in self.core:
+            raise ValueError(f"cell {cell} is already core")
+        self.undetermined.discard(cell)
+        self.noncore.add(cell)
+
+    def add_undetermined_cell(self, cell: CellId) -> None:
+        """Register ``cell`` as undetermined unless already determined."""
+        if cell not in self.core and cell not in self.noncore:
+            self.undetermined.add(cell)
+
+    def add_edge(self, src: CellId, dst: CellId, edge_type: EdgeType) -> None:
+        """Add (or upgrade) a directed edge ``src -> dst``.
+
+        An existing undetermined edge is overwritten by a determined
+        type; a determined type is never downgraded.
+        """
+        key = (src, dst)
+        current = self.edges.get(key)
+        if current is None or current is EdgeType.UNDETERMINED:
+            self.edges[key] = edge_type
+            if edge_type is EdgeType.UNDETERMINED:
+                self._undetermined_edges.add(key)
+                self._undetermined_by_dst.setdefault(dst, set()).add(key)
+            else:
+                if current is EdgeType.UNDETERMINED:
+                    self._undetermined_edges.discard(key)
+                    self._unindex(key)
+                if edge_type is EdgeType.FULL:
+                    self._pending_full.append(key)
+
+    def _unindex(self, key: tuple[CellId, CellId]) -> None:
+        bucket = self._undetermined_by_dst.get(key[1])
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._undetermined_by_dst[key[1]]
+
+    # ------------------------------------------------------------------
+    # Merging machinery (Sections 6.1.2 - 6.1.4)
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "CellGraph":
+        """Shallow-structure copy (cell ids are immutable tuples)."""
+        clone = CellGraph()
+        clone.core = set(self.core)
+        clone.noncore = set(self.noncore)
+        clone.undetermined = set(self.undetermined)
+        clone.edges = dict(self.edges)
+        clone._undetermined_edges = set(self._undetermined_edges)
+        clone._undetermined_by_dst = {
+            dst: set(keys) for dst, keys in self._undetermined_by_dst.items()
+        }
+        clone._full_forest = self._full_forest.copy()
+        clone._pending_full = list(self._pending_full)
+        return clone
+
+    def absorb(self, other: "CellGraph") -> "CellGraph":
+        """In-place merger ``self |= other`` (Definition 6.2).
+
+        Same semantics as :meth:`merge` without copying ``self`` — the
+        tournament's hot path.  ``other`` is not modified.
+        """
+        self.core |= other.core
+        self.noncore |= other.noncore
+        self.noncore -= self.core
+        self.undetermined |= other.undetermined
+        self.undetermined -= self.core
+        self.undetermined -= self.noncore
+        edges = self.edges
+        undetermined_edges = self._undetermined_edges
+        by_dst = self._undetermined_by_dst
+        for key, edge_type in other.edges.items():
+            current = edges.get(key)
+            if current is None or current is EdgeType.UNDETERMINED:
+                edges[key] = edge_type
+                if edge_type is EdgeType.UNDETERMINED:
+                    if key not in undetermined_edges:
+                        undetermined_edges.add(key)
+                        by_dst.setdefault(key[1], set()).add(key)
+                elif current is EdgeType.UNDETERMINED:
+                    undetermined_edges.discard(key)
+                    self._unindex(key)
+        self._full_forest.merge_from(other._full_forest)
+        self._pending_full.extend(other._pending_full)
+        return self
+
+    def absorb_resolving(self, other: "CellGraph") -> int:
+        """Fused merger + edge-type detection (Secs 6.1.2-6.1.3).
+
+        Equivalent to ``self.absorb(other)`` followed by
+        :meth:`detect_edge_types`, but only touches the edges that can
+        actually resolve in this match: an undetermined edge resolves
+        exactly when the *other* side determines its destination, so the
+        work per tournament match is proportional to what changed, not
+        to the graph size.  Returns the number of edges resolved.
+        """
+        resolved = 0
+        other_determined = other.core | other.noncore
+        self.core |= other.core
+        self.noncore |= other.noncore
+        self.noncore -= self.core
+        self.undetermined |= other.undetermined
+        self.undetermined -= self.core
+        self.undetermined -= self.noncore
+        core = self.core
+        noncore = self.noncore
+        edges = self.edges
+        undetermined_edges = self._undetermined_edges
+        by_dst = self._undetermined_by_dst
+        pending = self._pending_full
+        # My old undetermined edges against the other side's verdicts.
+        for dst in other_determined & by_dst.keys():
+            edge_type = EdgeType.FULL if dst in core else EdgeType.PARTIAL
+            keys = by_dst.pop(dst)
+            for key in keys:
+                edges[key] = edge_type
+                if edge_type is EdgeType.FULL:
+                    pending.append(key)
+            undetermined_edges.difference_update(keys)
+            resolved += len(keys)
+        # The other side's edges, classifying undetermined ones on entry.
+        for key, edge_type in other.edges.items():
+            current = edges.get(key)
+            if current is not None and current is not EdgeType.UNDETERMINED:
+                continue
+            newly_full = False
+            if edge_type is EdgeType.UNDETERMINED:
+                dst = key[1]
+                if dst in core:
+                    edge_type = EdgeType.FULL
+                    newly_full = True
+                    resolved += 1
+                elif dst in noncore:
+                    edge_type = EdgeType.PARTIAL
+                    resolved += 1
+            edges[key] = edge_type
+            if edge_type is EdgeType.UNDETERMINED:
+                if key not in undetermined_edges:
+                    undetermined_edges.add(key)
+                    by_dst.setdefault(key[1], set()).add(key)
+            else:
+                if current is EdgeType.UNDETERMINED:
+                    undetermined_edges.discard(key)
+                    self._unindex(key)
+                # Only edges *resolved in this match* are queued for the
+                # forest test.  An incoming already-full edge is either a
+                # tree edge of the other branch (its connectivity arrives
+                # via merge_from — re-testing it against that very
+                # connectivity would delete it) or still in the other
+                # side's own pending list, extended below.
+                if newly_full:
+                    pending.append(key)
+        self._full_forest.merge_from(other._full_forest)
+        self._pending_full.extend(other._pending_full)
+        return resolved
+
+    @classmethod
+    def merge(cls, a: "CellGraph", b: "CellGraph") -> "CellGraph":
+        """Single merger ``a | b`` (Definition 6.2).
+
+        Vertex classes are united with undetermined cells promoted to
+        whatever the other graph determined.  Edge sets are united; the
+        paper notes ``E1 & E2 = {}`` because partitions are disjoint, but
+        a duplicate key with a determined type wins over undetermined.
+        """
+        return a.copy().absorb(b)
+
+    def detect_edge_types(self) -> int:
+        """Resolve undetermined edges against the current vertex classes
+        (Section 6.1.3).  Returns the number of edges resolved.
+
+        Scans the *distinct destinations* of undetermined edges — an
+        edge's type is a function of its destination's class — so a
+        tournament match costs O(unresolved destinations) instead of
+        O(unresolved edges).
+        """
+        resolved = 0
+        core = self.core
+        noncore = self.noncore
+        for dst in list(self._undetermined_by_dst):
+            if dst in core:
+                edge_type = EdgeType.FULL
+            elif dst in noncore:
+                edge_type = EdgeType.PARTIAL
+            else:
+                continue
+            keys = self._undetermined_by_dst.pop(dst)
+            for key in keys:
+                self.edges[key] = edge_type
+                if edge_type is EdgeType.FULL:
+                    self._pending_full.append(key)
+            self._undetermined_edges.difference_update(keys)
+            resolved += len(keys)
+        return resolved
+
+    def reduce_full_edges(self) -> int:
+        """Drop redundant full edges via a spanning forest (Sec 6.1.4).
+
+        Full edges are treated as undirected; any full edge that closes a
+        cycle among core cells is removed.  Returns the number removed.
+        Connectivity (and therefore the final clustering) is unchanged.
+        """
+        removed = 0
+        forest = self._full_forest
+        for key in self._pending_full:
+            if self.edges.get(key) is not EdgeType.FULL:
+                continue  # stale pending entry
+            if not forest.union(key[0], key[1]):
+                del self.edges[key]
+                removed += 1
+        self._pending_full.clear()
+        return removed
+
+    def reduce_all_full_edges(self) -> int:
+        """Full-scan edge reduction: rebuild the forest over every full
+        edge currently present and drop the redundant ones.
+
+        Used once after a tournament: cross-branch duplicate full edges
+        (the reversed pair resolved in two different branches) are not
+        *pending* in either branch, so the incremental pass cannot see
+        them; one linear sweep at the end removes them.
+        """
+        self._full_forest = UnionFind()
+        self._pending_full = [
+            key for key, t in self.edges.items() if t is EdgeType.FULL
+        ]
+        return self.reduce_full_edges()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`ValueError` on
+        violation.  Intended for tests and debugging."""
+        if self.core & self.noncore:
+            raise ValueError("a cell is both core and non-core")
+        if (self.core | self.noncore) & self.undetermined:
+            raise ValueError("a determined cell is also undetermined")
+        known = self.core | self.noncore | self.undetermined
+        for (src, dst), edge_type in self.edges.items():
+            if src not in known or dst not in known:
+                raise ValueError(f"edge ({src}, {dst}) references unknown vertex")
+            if src in self.noncore:
+                raise ValueError(f"edge source {src} is a non-core cell")
+            if edge_type is EdgeType.FULL and (
+                src not in self.core or dst not in self.core
+            ):
+                raise ValueError(f"full edge ({src}, {dst}) endpoint not core")
+            if edge_type is EdgeType.PARTIAL and dst not in self.noncore:
+                raise ValueError(f"partial edge ({src}, {dst}) target not non-core")

@@ -1,0 +1,182 @@
+"""Phase II: core marking and cell-subgraph building (Algorithm 3).
+
+Each worker receives one pseudo random partition plus the broadcast
+two-level cell dictionary and, without any communication:
+
+1. runs an (eps, rho)-region query for every point of every cell it
+   owns, summing neighbor sub-cell densities to mark **core points**
+   (line 8-10) and thereby **core cells** (line 11-12);
+2. for each core cell, adds a directed edge to every cell that contains
+   at least one neighbor sub-cell of one of its core points
+   (line 13-16).
+
+Edge types are determined locally where possible: a target cell owned by
+the same partition is known to be core or non-core (full/partial edge);
+a target in another partition yields an *undetermined* edge resolved
+during Phase III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cell_graph import CellGraph, EdgeType
+from repro.core.cells import CellGeometry
+from repro.core.defragmentation import DefragmentedDictionary, defragment
+from repro.core.dictionary import CellDictionary
+from repro.core.partitioning import Partition
+from repro.core.region_query import RegionQueryEngine
+
+__all__ = ["QueryContext", "SubgraphResult", "build_cell_subgraph"]
+
+
+@dataclass
+class QueryContext:
+    """Broadcast payload for Phase II: dictionary + query configuration.
+
+    The :class:`RegionQueryEngine` is built lazily on first use so that,
+    in ``process`` mode, each worker constructs its own engine (kd-tree,
+    offset table, center caches) from the one-time-shipped dictionary —
+    mirroring Spark, where the broadcast is deserialized per executor.
+    """
+
+    dictionary: CellDictionary
+    strategy: str = "auto"
+    defragment_capacity: int | None = None
+    _engine: RegionQueryEngine | None = field(default=None, repr=False, compare=False)
+    _defrag: DefragmentedDictionary | None = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        state["_defrag"] = None
+        return state
+
+    @property
+    def engine(self) -> RegionQueryEngine:
+        """The (lazily built) region-query engine."""
+        if self._engine is None:
+            if self.defragment_capacity is not None:
+                self._defrag = defragment(
+                    self.dictionary, capacity=self.defragment_capacity
+                )
+                self._engine = RegionQueryEngine(self._defrag, strategy=self.strategy)
+            else:
+                self._engine = RegionQueryEngine(self.dictionary, strategy=self.strategy)
+            # Broadcast-load warm-up: see CellDictionary.materialize_centers.
+            self.dictionary.materialize_centers()
+        return self._engine
+
+    @property
+    def defragmented(self) -> DefragmentedDictionary | None:
+        """The defragmented dictionary, when enabled (for stats)."""
+        self.engine  # ensure built
+        return self._defrag
+
+    @property
+    def geometry(self) -> CellGeometry:
+        """Shared cell geometry."""
+        return self.dictionary.geometry
+
+
+@dataclass
+class SubgraphResult:
+    """Output of Phase II for one partition.
+
+    Attributes
+    ----------
+    pid:
+        Partition id.
+    graph:
+        The partition's cell subgraph (Definition 5.8).  Vertices are
+        dense cell *indices* into the broadcast dictionary's
+        :attr:`~repro.core.dictionary.CellDictionary.index_map`.
+    core_mask:
+        Boolean per partition row: is the point core?  Aligned with
+        ``partition.points``.
+    num_queries:
+        Number of (eps, rho)-region queries executed (one per point).
+    """
+
+    pid: int
+    graph: CellGraph
+    core_mask: np.ndarray
+    num_queries: int
+
+
+def build_cell_subgraph(
+    partition: Partition, context: QueryContext, min_pts: int
+) -> SubgraphResult:
+    """Run Algorithm 3 for one partition.
+
+    Parameters
+    ----------
+    partition:
+        The pseudo random partition to process.
+    context:
+        Broadcast :class:`QueryContext` with the global dictionary.
+    min_pts:
+        DBSCAN ``minPts``; a point is core when the density sum of its
+        (eps, rho)-neighbor sub-cells reaches it (the count includes the
+        point's own sub-cell, matching ``|N_eps(p)| >= minPts``).
+
+    Returns
+    -------
+    SubgraphResult
+    """
+    if min_pts < 1:
+        raise ValueError("min_pts must be >= 1")
+    engine = context.engine
+    index_map = context.dictionary.index_map
+    graph = CellGraph()
+    owned = {index_map[cid] for cid in partition.cell_slices}
+    core_mask = np.zeros(partition.num_points, dtype=bool)
+    num_queries = 0
+
+    # First pass: mark core points and core cells.  Graph vertices are
+    # the dictionary's dense cell indices (every referenced cell is a
+    # dictionary cell), which keeps Phase III's set/dict work cheap.
+    core_cells: set[int] = set()
+    touch_by_cell: dict[int, list[int]] = {}
+    for cell_id, (start, stop) in partition.cell_slices.items():
+        pts = partition.points[start:stop]
+        result = engine.query_cell_batch(cell_id, pts)
+        num_queries += pts.shape[0]
+        is_core = result.counts >= float(min_pts)
+        core_mask[start:stop] = is_core
+        if bool(is_core.any()):
+            core_cells.add(index_map[cell_id])
+            # Cells reachable from this cell = union over its core
+            # points of the cells holding their neighbor sub-cells.
+            touched = result.touch[is_core].any(axis=0)
+            touch_by_cell[index_map[cell_id]] = [
+                index_map[cid]
+                for j, cid in enumerate(result.candidate_ids)
+                if touched[j]
+            ]
+
+    # Second pass: classify owned cells and emit edges.
+    for cell_id in partition.cell_slices:
+        idx = index_map[cell_id]
+        if idx in core_cells:
+            graph.add_core_cell(idx)
+        else:
+            graph.add_noncore_cell(idx)
+    for src, targets in touch_by_cell.items():
+        for dst in targets:
+            if dst == src:
+                continue
+            if dst in owned:
+                edge_type = EdgeType.FULL if dst in core_cells else EdgeType.PARTIAL
+            else:
+                graph.add_undetermined_cell(dst)
+                edge_type = EdgeType.UNDETERMINED
+            graph.add_edge(src, dst, edge_type)
+    return SubgraphResult(
+        pid=partition.pid,
+        graph=graph,
+        core_mask=core_mask,
+        num_queries=num_queries,
+    )

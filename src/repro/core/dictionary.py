@@ -1,0 +1,328 @@
+"""The two-level cell dictionary (paper Definition 4.2, Lemma 4.3).
+
+The dictionary is the compact global summary broadcast to every worker.
+Its root level has one entry per non-empty *cell* (exact position +
+density); each root entry points to a leaf holding the cell's non-empty
+*sub-cells* (local position encoded in ``d(h-1)`` bits + density).
+
+This module provides:
+
+* :class:`CellSummary` — one cell's leaf: sub-cell coordinates, densities.
+* :class:`CellDictionary` — the full two-level structure with vectorized
+  construction from points, the merge step of Algorithm 2 (Phase I-2
+  ``Reduce``), the Lemma 4.3 size model, and a per-cell cache of sub-cell
+  centers used by region queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cells import CellGeometry, CellId
+from repro.spatial.grid import group_points_by_cell
+
+__all__ = ["CellSummary", "CellDictionary", "DictionarySizeModel", "summarize_cell"]
+
+
+@dataclass
+class CellSummary:
+    """Summary of one cell: its total density and its non-empty sub-cells.
+
+    Attributes
+    ----------
+    count:
+        Number of points in the cell (the root-entry density).
+    sub_coords:
+        ``(k, d)`` uint16 array of local sub-cell coordinates.
+    sub_counts:
+        ``(k,)`` int64 array of per-sub-cell densities.
+    """
+
+    count: int
+    sub_coords: np.ndarray
+    sub_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.sub_coords.ndim != 2 or self.sub_counts.ndim != 1:
+            raise ValueError("sub_coords must be (k, d), sub_counts (k,)")
+        if self.sub_coords.shape[0] != self.sub_counts.shape[0]:
+            raise ValueError("sub_coords and sub_counts disagree on k")
+        if int(self.sub_counts.sum()) != self.count:
+            raise ValueError("sub-cell densities must sum to the cell density")
+
+    @property
+    def num_subcells(self) -> int:
+        """Number of non-empty sub-cells in this cell."""
+        return self.sub_coords.shape[0]
+
+
+@dataclass(frozen=True)
+class DictionarySizeModel:
+    """Size of a dictionary per Lemma 4.3, in bits.
+
+    ``size = 32(|cell| + |sub-cell|) + 32 d |cell| + d(h-1)|sub-cell|``
+    (densities as 32-bit ints, cell positions as ``d`` 32-bit floats,
+    sub-cell positions as ``d(h-1)``-bit local orderings).
+    """
+
+    num_cells: int
+    num_subcells: int
+    dim: int
+    h: int
+
+    @property
+    def density_bits(self) -> int:
+        """Bits spent on (sub-)cell densities."""
+        return 32 * (self.num_cells + self.num_subcells)
+
+    @property
+    def position_bits(self) -> int:
+        """Bits spent on (sub-)cell positions."""
+        return 32 * self.dim * self.num_cells + self.dim * (self.h - 1) * self.num_subcells
+
+    @property
+    def total_bits(self) -> int:
+        """Total dictionary size in bits."""
+        return self.density_bits + self.position_bits
+
+    @property
+    def total_bytes(self) -> float:
+        """Total dictionary size in bytes."""
+        return self.total_bits / 8.0
+
+    def ratio_to_data(self, num_points: int, *, bytes_per_point: float | None = None) -> float:
+        """Dictionary size as a fraction of the raw data set size.
+
+        The paper stores points as ``d`` 32-bit floats (Table 3 lists all
+        data sets as ``float``), so the data set occupies
+        ``32 * d * N`` bits unless ``bytes_per_point`` overrides it.
+        """
+        if num_points <= 0:
+            raise ValueError("num_points must be positive")
+        if bytes_per_point is None:
+            data_bits = 32 * self.dim * num_points
+        else:
+            data_bits = 8.0 * bytes_per_point * num_points
+        return self.total_bits / data_bits
+
+
+class CellDictionary:
+    """Two-level cell dictionary over a set of points.
+
+    Parameters
+    ----------
+    geometry:
+        The cell/sub-cell geometry (fixes ``eps``, ``d``, ``rho``).
+    cells:
+        Mapping from cell id to :class:`CellSummary`.
+
+    Notes
+    -----
+    Construction cost is ``O(n log n)`` (one grouping sort); lookups are
+    hash lookups.  Sub-cell centers are materialized lazily per cell and
+    cached because a cell's centers are consulted by region queries from
+    every neighboring cell.
+    """
+
+    def __init__(self, geometry: CellGeometry, cells: dict[CellId, CellSummary]) -> None:
+        self.geometry = geometry
+        self.cells = cells
+        self._center_cache: dict[CellId, np.ndarray] = {}
+        self._index: dict[CellId, int] | None = None
+        self._cells_in_order: list[CellId] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 2, Phase I-2)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: np.ndarray, geometry: CellGeometry) -> "CellDictionary":
+        """Build the dictionary for ``points`` in one pass.
+
+        Equivalent to running ``Cell_Dictionary_Building`` over a single
+        partition holding all cells.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        if pts.shape[1] != geometry.dim:
+            raise ValueError(
+                f"points have dim {pts.shape[1]} but geometry has dim {geometry.dim}"
+            )
+        groups = group_points_by_cell(pts, geometry.side)
+        cells: dict[CellId, CellSummary] = {}
+        for cell_id, indices in groups.items():
+            cells[cell_id] = summarize_cell(pts[indices], cell_id, geometry)
+        return cls(geometry, cells)
+
+    @classmethod
+    def merge(cls, dictionaries: list["CellDictionary"]) -> "CellDictionary":
+        """Union of per-partition dictionaries (Algorithm 2, lines 18-20).
+
+        Pseudo random partitioning assigns each cell to exactly one
+        partition, so the per-partition dictionaries are disjoint; a
+        shared cell id is a programming error and raises.
+        """
+        if not dictionaries:
+            raise ValueError("merge requires at least one dictionary")
+        geometry = dictionaries[0].geometry
+        merged: dict[CellId, CellSummary] = {}
+        for dictionary in dictionaries:
+            if dictionary.geometry != geometry:
+                raise ValueError("cannot merge dictionaries with different geometry")
+            overlap = merged.keys() & dictionary.cells.keys()
+            if overlap:
+                raise ValueError(f"partitions share cells: {sorted(overlap)[:3]}...")
+            merged.update(dictionary.cells)
+        return cls(geometry, merged)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, cell_id: CellId) -> bool:
+        return cell_id in self.cells
+
+    @property
+    def num_cells(self) -> int:
+        """Number of non-empty cells."""
+        return len(self.cells)
+
+    @property
+    def num_subcells(self) -> int:
+        """Number of non-empty sub-cells across all cells."""
+        return sum(summary.num_subcells for summary in self.cells.values())
+
+    @property
+    def num_points(self) -> int:
+        """Total density — must equal the data set size."""
+        return sum(summary.count for summary in self.cells.values())
+
+    def size_model(self) -> DictionarySizeModel:
+        """Lemma 4.3 size accounting for this dictionary."""
+        return DictionarySizeModel(
+            num_cells=self.num_cells,
+            num_subcells=self.num_subcells,
+            dim=self.geometry.dim,
+            h=self.geometry.h,
+        )
+
+    @property
+    def index_map(self) -> dict[CellId, int]:
+        """Dense index per cell (sorted order), built lazily.
+
+        Cell graphs use these int indices as vertices: every vertex of
+        every subgraph is a dictionary cell, and small-int keys make the
+        tournament's set/dict operations several times cheaper than
+        tuple-of-int keys.
+        """
+        if self._index is None:
+            self._cells_in_order = sorted(self.cells)
+            self._index = {cid: i for i, cid in enumerate(self._cells_in_order)}
+        return self._index
+
+    def cell_at(self, index: int) -> CellId:
+        """Inverse of :attr:`index_map`."""
+        self.index_map  # ensure built
+        assert self._cells_in_order is not None
+        return self._cells_in_order[index]
+
+    def cell_ids_array(self) -> np.ndarray:
+        """All cell ids as an ``(m, d)`` int64 array (stable order)."""
+        if not self.cells:
+            return np.empty((0, self.geometry.dim), dtype=np.int64)
+        return np.array(sorted(self.cells.keys()), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Query support
+    # ------------------------------------------------------------------
+
+    def sub_cell_centers(self, cell_id: CellId) -> np.ndarray:
+        """Cached ``(k, d)`` array of the cell's sub-cell centers."""
+        centers = self._center_cache.get(cell_id)
+        if centers is None:
+            summary = self.cells[cell_id]
+            centers = self.geometry.sub_cell_centers(cell_id, summary.sub_coords)
+            self._center_cache[cell_id] = centers
+        return centers
+
+    def add_points(self, points: np.ndarray) -> None:
+        """Fold new points into the summary (incremental maintenance).
+
+        The two-level cell dictionary is a pure additive sketch —
+        densities per (sub-)cell — so appending data never requires the
+        old points: new cells and sub-cells are created, existing
+        densities increase.  After an update the dictionary equals the
+        one built from scratch on the union (tested), which is what
+        makes periodic re-clustering of a growing data set cheap: Phase
+        I-2 becomes O(batch) instead of O(total).
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        if pts.shape[1] != self.geometry.dim:
+            raise ValueError(
+                f"points have dim {pts.shape[1]} but geometry has dim "
+                f"{self.geometry.dim}"
+            )
+        groups = group_points_by_cell(pts, self.geometry.side)
+        for cell_id, indices in groups.items():
+            fresh = summarize_cell(pts[indices], cell_id, self.geometry)
+            current = self.cells.get(cell_id)
+            if current is None:
+                self.cells[cell_id] = fresh
+            else:
+                merged_coords = np.concatenate(
+                    [current.sub_coords, fresh.sub_coords]
+                )
+                merged_counts = np.concatenate(
+                    [current.sub_counts, fresh.sub_counts]
+                )
+                coords, inverse = np.unique(
+                    merged_coords, axis=0, return_inverse=True
+                )
+                counts = np.zeros(coords.shape[0], dtype=np.int64)
+                np.add.at(counts, inverse, merged_counts)
+                self.cells[cell_id] = CellSummary(
+                    count=current.count + fresh.count,
+                    sub_coords=coords.astype(np.uint16),
+                    sub_counts=counts,
+                )
+            self._center_cache.pop(cell_id, None)
+        # New cells invalidate the dense index.
+        self._index = None
+        self._cells_in_order = None
+
+    def materialize_centers(self) -> None:
+        """Precompute every cell's sub-cell centers into the cache.
+
+        On a real cluster each worker materializes centers while loading
+        the broadcast dictionary (Phase I); doing it eagerly here keeps
+        per-task Phase II timings uniform instead of charging the whole
+        warm-up to whichever task runs first.
+        """
+        for cell_id in self.cells:
+            self.sub_cell_centers(cell_id)
+
+    def densities(self, cell_id: CellId) -> np.ndarray:
+        """Per-sub-cell densities of ``cell_id`` as float64 (for matmul)."""
+        return self.cells[cell_id].sub_counts.astype(np.float64)
+
+
+def summarize_cell(
+    cell_points: np.ndarray, cell_id: CellId, geometry: CellGeometry
+) -> CellSummary:
+    """Build a :class:`CellSummary` from the points of one cell."""
+    ids = np.tile(np.asarray(cell_id, dtype=np.int64), (cell_points.shape[0], 1))
+    local = geometry.sub_cell_coords(cell_points, ids)
+    coords, counts = np.unique(local, axis=0, return_counts=True)
+    return CellSummary(
+        count=cell_points.shape[0],
+        sub_coords=coords.astype(np.uint16),
+        sub_counts=counts.astype(np.int64),
+    )

@@ -1,0 +1,200 @@
+"""Pseudo random partitioning (paper Section 4.1, Algorithm 2 part 1).
+
+Points are first bucketed into cells; then whole *cells* are randomly
+distributed to ``k`` partitions.  Because the cell is tiny relative to
+the data space, this behaves like true random partitioning for load
+balance while keeping each cell's points together — the property that
+makes cell-level merging possible.
+
+Two assignment methods are provided:
+
+* ``"random_key"`` — each cell independently draws a uniform partition
+  key, exactly as Algorithm 2 line 7 ("Pick a random key from 1..k").
+* ``"shuffle"`` — cells are randomly shuffled and dealt round-robin,
+  which equalizes cell counts exactly; useful as an ablation.
+
+For the naive-random-split baselines (Sec 2.2.1) and ablations,
+:func:`true_random_partition` splits the *points* instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cells import CellGeometry, CellId
+from repro.spatial.grid import group_points_by_cell
+
+__all__ = ["Partition", "pseudo_random_partition", "true_random_partition"]
+
+
+@dataclass
+class Partition:
+    """One pseudo random partition: a bag of whole cells and their points.
+
+    Attributes
+    ----------
+    pid:
+        Partition index in ``[0, k)``.
+    points:
+        ``(m, d)`` float64 array of the partition's points, stored
+        contiguously grouped by cell.
+    global_indices:
+        ``(m,)`` int64 row indices of ``points`` in the original data
+        set, used to write labels back in Phase III-2.
+    cell_slices:
+        Mapping from cell id to the ``(start, stop)`` row range of that
+        cell's points within ``points``.
+    """
+
+    pid: int
+    points: np.ndarray
+    global_indices: np.ndarray
+    cell_slices: dict[CellId, tuple[int, int]]
+
+    @property
+    def num_points(self) -> int:
+        """Number of points in this partition."""
+        return self.points.shape[0]
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells in this partition."""
+        return len(self.cell_slices)
+
+    def cell_points(self, cell_id: CellId) -> np.ndarray:
+        """The ``(n_c, d)`` points of one cell."""
+        start, stop = self.cell_slices[cell_id]
+        return self.points[start:stop]
+
+    def cell_global_indices(self, cell_id: CellId) -> np.ndarray:
+        """Global data-set indices of one cell's points."""
+        start, stop = self.cell_slices[cell_id]
+        return self.global_indices[start:stop]
+
+
+def pseudo_random_partition(
+    points: np.ndarray,
+    geometry: CellGeometry,
+    num_partitions: int,
+    *,
+    seed: int | None = 0,
+    method: str = "random_key",
+) -> list[Partition]:
+    """Split ``points`` into ``num_partitions`` cell-level random splits.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data set.
+    geometry:
+        Cell geometry fixing the grid.
+    num_partitions:
+        Number of splits ``k``; partitions may be empty when there are
+        fewer non-empty cells than ``k`` (only possible on tiny inputs).
+    seed:
+        Seed for the partition-key RNG (``None`` for nondeterministic).
+    method:
+        ``"random_key"`` (paper's Algorithm 2) or ``"shuffle"``.
+
+    Returns
+    -------
+    list[Partition]
+        Exactly ``num_partitions`` partitions whose points are pairwise
+        disjoint and jointly cover the input.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be (n, d)")
+    if pts.shape[1] != geometry.dim:
+        raise ValueError(
+            f"points have dim {pts.shape[1]} but geometry has dim {geometry.dim}"
+        )
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    groups = group_points_by_cell(pts, geometry.side)
+    cell_ids = list(groups.keys())
+    rng = np.random.default_rng(seed)
+    if method == "random_key":
+        keys = rng.integers(0, num_partitions, size=len(cell_ids))
+    elif method == "shuffle":
+        order = rng.permutation(len(cell_ids))
+        keys = np.empty(len(cell_ids), dtype=np.int64)
+        keys[order] = np.arange(len(cell_ids)) % num_partitions
+    else:
+        raise ValueError(f"unknown partitioning method {method!r}")
+
+    per_partition_cells: list[list[CellId]] = [[] for _ in range(num_partitions)]
+    for cell_id, key in zip(cell_ids, keys):
+        per_partition_cells[int(key)].append(cell_id)
+
+    partitions: list[Partition] = []
+    for pid, cells in enumerate(per_partition_cells):
+        index_chunks = [groups[cell_id] for cell_id in cells]
+        if index_chunks:
+            indices = np.concatenate(index_chunks)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        slices: dict[CellId, tuple[int, int]] = {}
+        cursor = 0
+        for cell_id, chunk in zip(cells, index_chunks):
+            slices[cell_id] = (cursor, cursor + chunk.shape[0])
+            cursor += chunk.shape[0]
+        partitions.append(
+            Partition(
+                pid=pid,
+                points=pts[indices],
+                global_indices=indices,
+                cell_slices=slices,
+            )
+        )
+    return partitions
+
+
+def true_random_partition(
+    points: np.ndarray,
+    geometry: CellGeometry,
+    num_partitions: int,
+    *,
+    seed: int | None = 0,
+) -> list[Partition]:
+    """Point-level random split (the naive strategy of Sec 2.2.1).
+
+    Points are shuffled and dealt round-robin, so a cell's points can be
+    scattered over many partitions.  Partitions are still organized by
+    cell internally so the same Phase II code can run on them — which is
+    exactly how the ablation quantifies the accuracy loss of naive
+    random split without a global dictionary.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be (n, d)")
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(pts.shape[0])
+    partitions: list[Partition] = []
+    for pid in range(num_partitions):
+        indices = order[pid::num_partitions]
+        sub = pts[indices]
+        groups = group_points_by_cell(sub, geometry.side)
+        local_order_chunks = list(groups.values())
+        if local_order_chunks:
+            local_order = np.concatenate(local_order_chunks)
+        else:
+            local_order = np.empty(0, dtype=np.int64)
+        slices: dict[CellId, tuple[int, int]] = {}
+        cursor = 0
+        for cell_id, chunk in groups.items():
+            slices[cell_id] = (cursor, cursor + chunk.shape[0])
+            cursor += chunk.shape[0]
+        partitions.append(
+            Partition(
+                pid=pid,
+                points=sub[local_order],
+                global_indices=indices[local_order],
+                cell_slices=slices,
+            )
+        )
+    return partitions

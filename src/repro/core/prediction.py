@@ -1,0 +1,116 @@
+"""Assigning new points to an existing clustering (library extension).
+
+Not part of the paper, but the natural deployment step after it: once a
+data set has been clustered, classify *new* points against the result
+without re-running DBSCAN.  The rule is DBSCAN's own border rule: a new
+point joins the cluster of the nearest core point within ``eps``,
+otherwise it is noise.  Cell bucketing keeps each lookup local, exactly
+like the region queries of the main algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cells import CellGeometry
+from repro.spatial.cell_index import NeighborCellFinder
+from repro.spatial.distance import pairwise_distances
+from repro.spatial.grid import group_points_by_cell
+
+__all__ = ["ClusterModel"]
+
+
+class ClusterModel:
+    """A frozen clustering usable to classify new points.
+
+    Parameters
+    ----------
+    points:
+        The points the clustering was fitted on, ``(n, d)``.
+    labels:
+        Their cluster labels (``-1`` = noise).
+    core_mask:
+        Which fitted points are core.
+    eps:
+        The DBSCAN radius used for the fit.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import RPDBSCAN
+    >>> from repro.core.prediction import ClusterModel
+    >>> rng = np.random.default_rng(0)
+    >>> pts = np.concatenate([rng.normal(0, .1, (200, 2)),
+    ...                       rng.normal(3, .1, (200, 2))])
+    >>> fit = RPDBSCAN(eps=0.3, min_pts=10).fit(pts)
+    >>> model = ClusterModel(pts, fit.labels, fit.core_mask, eps=0.3)
+    >>> model.predict(np.array([[0.05, 0.0], [10.0, 10.0]])).tolist()
+    [0, -1]
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        labels: np.ndarray,
+        core_mask: np.ndarray,
+        eps: float,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        core_mask = np.asarray(core_mask, dtype=bool)
+        if points.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        if labels.shape != (points.shape[0],) or core_mask.shape != labels.shape:
+            raise ValueError("labels/core_mask must align with points")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if np.any((labels < 0) & core_mask):
+            raise ValueError("a core point cannot be noise")
+        self.eps = float(eps)
+        self._core_points = points[core_mask]
+        self._core_labels = labels[core_mask]
+        dim = points.shape[1] if points.shape[1] else 1
+        self._geometry = CellGeometry(self.eps, dim)
+        if self._core_points.shape[0]:
+            self._groups = {
+                cell: indices
+                for cell, indices in group_points_by_cell(
+                    self._core_points, self._geometry.side
+                ).items()
+            }
+        else:
+            self._groups = {}
+        self._finder = NeighborCellFinder(
+            set(self._groups), self._geometry.side, self.eps
+        )
+
+    @property
+    def n_core_points(self) -> int:
+        """Number of core points retained by the model."""
+        return self._core_points.shape[0]
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Labels for ``points``: nearest core's cluster within ``eps``,
+        else ``-1``."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != self._geometry.dim:
+            raise ValueError(
+                f"points must be (m, {self._geometry.dim})"
+            )
+        out = np.full(pts.shape[0], -1, dtype=np.int64)
+        if not self._groups:
+            return out
+        # Group queries by cell so each candidate set is computed once.
+        for cell_id, rows in group_points_by_cell(pts, self._geometry.side).items():
+            candidate_cells = self._finder.candidates(cell_id)
+            if not candidate_cells:
+                continue
+            candidate_rows = np.concatenate(
+                [self._groups[c] for c in candidate_cells]
+            )
+            dist = pairwise_distances(pts[rows], self._core_points[candidate_rows])
+            dist[dist > self.eps] = np.inf
+            nearest = np.argmin(dist, axis=1)
+            hit = np.isfinite(dist[np.arange(rows.shape[0]), nearest])
+            out[rows[hit]] = self._core_labels[candidate_rows[nearest[hit]]]
+        return out

@@ -1,0 +1,213 @@
+"""(eps, rho)-region queries against the two-level cell dictionary.
+
+Definition 5.1: a sub-cell is an *(eps, rho)-neighbor* of a point ``p``
+when the sub-cell's center is within ``eps`` of ``p``.  The query runs
+entirely against the broadcast dictionary, so a worker can measure the
+density around any of its points without talking to other workers.
+
+Processing follows Example 5.5: candidate cells near the query are found
+first (offset enumeration in low dimensions, kd-tree over non-empty cell
+centers in high dimensions — Lemma 5.6); a candidate *fully contained*
+in the query ball contributes all of its sub-cells at once, a *partially
+contained* candidate contributes the sub-cells whose centers pass the
+distance test, and candidates outside the ball are dropped.
+
+Queries are batched per cell: every point of a cell shares the same
+candidate-cell set, so one ``(n_points x n_centers)`` distance matrix
+answers all of a cell's queries — this is the Phase II hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cells import CellGeometry, CellId
+from repro.core.defragmentation import DefragmentedDictionary
+from repro.core.dictionary import CellDictionary
+from repro.spatial.cell_index import NeighborCellFinder
+from repro.spatial.distance import pairwise_distances
+
+__all__ = ["CellBatchQueryResult", "RegionQueryEngine"]
+
+
+@dataclass
+class CellBatchQueryResult:
+    """Answers for all points of one cell.
+
+    Attributes
+    ----------
+    candidate_ids:
+        The non-empty cells that could hold (eps, rho)-neighbors, in a
+        deterministic order.
+    counts:
+        ``(n,)`` float64: for each query point, the sum of densities of
+        its (eps, rho)-neighbor sub-cells — the approximate
+        ``|N_eps(p)|`` used for core marking (Algorithm 3 line 8).
+    touch:
+        ``(n, len(candidate_ids))`` bool: ``touch[i, j]`` is ``True``
+        when point ``i`` has at least one neighbor sub-cell inside
+        candidate cell ``j`` — the reachability used for edge building
+        (Algorithm 3 line 13).
+    """
+
+    candidate_ids: list[CellId]
+    counts: np.ndarray
+    touch: np.ndarray
+
+
+class RegionQueryEngine:
+    """Executes (eps, rho)-region queries over a cell dictionary.
+
+    Parameters
+    ----------
+    dictionary:
+        Either a plain :class:`CellDictionary` or a
+        :class:`DefragmentedDictionary` (enables sub-dictionary-skipping
+        accounting; results are identical).
+    strategy:
+        Candidate-cell search: ``"enumerate"`` (integer offsets),
+        ``"kdtree"`` (tree over non-empty cell centers), or ``"auto"``
+        (enumerate while the offset table stays small).
+    """
+
+    def __init__(
+        self,
+        dictionary: CellDictionary | DefragmentedDictionary,
+        *,
+        strategy: str = "auto",
+    ) -> None:
+        if isinstance(dictionary, DefragmentedDictionary):
+            self._defrag: DefragmentedDictionary | None = dictionary
+            self._dict = dictionary.dictionary
+        else:
+            self._defrag = None
+            self._dict = dictionary
+        self.geometry: CellGeometry = self._dict.geometry
+        self._finder = NeighborCellFinder(
+            set(self._dict.cells),
+            self.geometry.side,
+            self.geometry.eps,
+            strategy=strategy,
+        )
+        self.strategy = self._finder.strategy
+
+    # ------------------------------------------------------------------
+    # Candidate cells
+    # ------------------------------------------------------------------
+
+    def candidate_cells(self, cell_id: CellId) -> list[CellId]:
+        """Non-empty cells whose box lies within ``eps`` of ``cell_id``'s
+        box — a superset of every point-level candidate set for points in
+        that cell.  Deterministically ordered."""
+        return self._finder.candidates(cell_id)
+
+    # ------------------------------------------------------------------
+    # Batched query (Phase II hot path)
+    # ------------------------------------------------------------------
+
+    def query_cell_batch(self, cell_id: CellId, points: np.ndarray) -> CellBatchQueryResult:
+        """Run the (eps, rho)-region query for every point of one cell.
+
+        ``points`` must all lie in ``cell_id``; the result aligns with
+        the row order of ``points``.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        eps = self.geometry.eps
+        eps2 = eps * eps
+        side = self.geometry.side
+        candidates = self.candidate_cells(cell_id)
+        if self._defrag is not None:
+            self._defrag.record_cells_consulted(candidates)
+        n = pts.shape[0]
+        m = len(candidates)
+        counts = np.zeros(n, dtype=np.float64)
+        touch = np.zeros((n, m), dtype=bool)
+        if n == 0 or m == 0:
+            return CellBatchQueryResult(
+                candidate_ids=candidates, counts=counts, touch=touch
+            )
+
+        # Point-to-box distances for all candidates at once: (n, m, d).
+        los = np.asarray(candidates, dtype=np.float64) * side  # (m, d)
+        diff_lo = los[None, :, :] - pts[:, None, :]
+        diff_hi = -diff_lo - side  # pts - (los + side)
+        gap = np.maximum(np.maximum(diff_lo, diff_hi), 0.0)
+        min_d2 = np.einsum("ijk,ijk->ij", gap, gap)  # (n, m)
+        corner = np.maximum(np.abs(diff_lo), np.abs(diff_hi))
+        max_d2 = np.einsum("ijk,ijk->ij", corner, corner)
+        near = min_d2 <= eps2
+        # Fully-contained fast path (Example 5.5 case 1): the whole
+        # candidate box is inside the query ball, so every sub-cell
+        # center is a neighbor.
+        full = max_d2 <= eps2
+        cell_counts = np.array(
+            [self._dict.cells[c].count for c in candidates], dtype=np.float64
+        )
+        counts += full @ cell_counts
+        touch |= full
+
+        # Partially-contained candidates: test their sub-cell centers,
+        # concatenated into a single distance computation (case 2).
+        partial = near & ~full  # (n, m)
+        partial_cols = np.nonzero(partial.any(axis=0))[0]
+        if partial_cols.size:
+            center_blocks = [
+                self._dict.sub_cell_centers(candidates[j]) for j in partial_cols
+            ]
+            density_blocks = [self._dict.densities(candidates[j]) for j in partial_cols]
+            sizes = np.array([block.shape[0] for block in center_blocks])
+            starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+            centers = np.concatenate(center_blocks)  # (M, d)
+            densities = np.concatenate(density_blocks)  # (M,)
+            col_of = np.repeat(np.arange(partial_cols.size), sizes)
+            within = pairwise_distances(pts, centers) <= eps  # (n, M)
+            # A fully-contained candidate was already counted wholesale;
+            # mask its columns so nothing is counted twice.
+            within &= partial[:, partial_cols][:, col_of]
+            counts += within @ densities
+            seg_hits = np.add.reduceat(within, starts, axis=1) > 0
+            touch[:, partial_cols] |= seg_hits
+        return CellBatchQueryResult(candidate_ids=candidates, counts=counts, touch=touch)
+
+    # ------------------------------------------------------------------
+    # Single-point query (tests, exploration)
+    # ------------------------------------------------------------------
+
+    def query_point(self, point: np.ndarray) -> tuple[float, list[CellId]]:
+        """Approximate neighbor count and touched cells for one point.
+
+        Returns ``(count, cells)`` where ``count`` is the density sum of
+        the point's (eps, rho)-neighbor sub-cells and ``cells`` are the
+        cells contributing at least one neighbor sub-cell.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        cell_id = self.geometry.grid.cell_id_of(p)
+        result = self.query_cell_batch(cell_id, p[None, :])
+        touched = [
+            cid for j, cid in enumerate(result.candidate_ids) if result.touch[0, j]
+        ]
+        return float(result.counts[0]), touched
+
+    def neighbor_subcells(self, point: np.ndarray) -> list[tuple[CellId, np.ndarray]]:
+        """The (eps, rho)-neighbor sub-cells of ``point`` (Def 5.1).
+
+        Returns ``(cell_id, mask)`` pairs where ``mask`` flags the
+        cell's sub-cells whose centers are within ``eps``.  This is the
+        literal ``NSC`` set of Algorithm 3; the batched query is the
+        optimized equivalent.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        eps = self.geometry.eps
+        cell_id = self.geometry.grid.cell_id_of(p)
+        out: list[tuple[CellId, np.ndarray]] = []
+        for candidate in self.candidate_cells(cell_id):
+            centers = self._dict.sub_cell_centers(candidate)
+            diff = centers - p
+            mask = np.einsum("ij,ij->i", diff, diff) <= eps * eps
+            if mask.any():
+                out.append((candidate, mask))
+        return out

@@ -1,0 +1,331 @@
+"""The RP-DBSCAN orchestrator (Algorithm 1).
+
+Ties the three phases together on top of the execution engine:
+
+* **Phase I** — pseudo random partitioning (I-1), per-partition
+  dictionary building and merging (I-2), and "broadcast" of the merged
+  dictionary (handing it to the engine as the broadcast value).
+* **Phase II** — per-partition core marking and cell-subgraph building,
+  run as one engine task per partition.
+* **Phase III** — progressive graph merging (III-1) on the driver and
+  per-partition point labeling (III-2) as engine tasks.
+
+All phase wall-times and per-task statistics land in the engine's
+:class:`~repro.engine.counters.Counters`, which is what the efficiency
+figures (12, 13, 14, 21) read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cell_graph import CellGraph
+from repro.core.cells import CellGeometry
+from repro.core.construction import QueryContext, SubgraphResult, build_cell_subgraph
+from repro.core.dictionary import (
+    CellDictionary,
+    DictionarySizeModel,
+    summarize_cell,
+)
+from repro.core.labeling import (
+    LabelingContext,
+    build_labeling_context,
+    label_partition,
+)
+from repro.core.merging import MergeStats, progressive_merge
+from repro.core.partitioning import Partition, pseudo_random_partition
+from repro.engine.counters import Counters
+from repro.engine.executors import Engine
+
+__all__ = [
+    "RPDBSCAN",
+    "RPDBSCANResult",
+    "PHASE_PARTITION",
+    "PHASE_DICTIONARY",
+    "PHASE_CELL_GRAPH",
+    "PHASE_MERGE",
+    "PHASE_LABEL",
+    "PHASES",
+]
+
+PHASE_PARTITION = "I-1 partitioning"
+PHASE_DICTIONARY = "I-2 dictionary"
+PHASE_CELL_GRAPH = "II cell graph"
+PHASE_MERGE = "III-1 merging"
+PHASE_LABEL = "III-2 labeling"
+
+#: The five phases in execution order (Figure 12's legend).
+PHASES = (
+    PHASE_PARTITION,
+    PHASE_DICTIONARY,
+    PHASE_CELL_GRAPH,
+    PHASE_MERGE,
+    PHASE_LABEL,
+)
+
+
+def _dictionary_from_partition(partition: Partition, geometry: CellGeometry) -> CellDictionary:
+    """Algorithm 2, ``Cell_Dictionary_Building.Map`` for one partition."""
+    cells: dict = {}
+    for cell_id, (start, stop) in partition.cell_slices.items():
+        cells[cell_id] = summarize_cell(partition.points[start:stop], cell_id, geometry)
+    return CellDictionary(geometry, cells)
+
+
+def _dictionary_worker(partition: Partition, geometry: CellGeometry) -> CellDictionary:
+    return _dictionary_from_partition(partition, geometry)
+
+
+def _phase2_worker(partition: Partition, broadcast) -> SubgraphResult:
+    context, min_pts = broadcast
+    return build_cell_subgraph(partition, context, min_pts)
+
+
+def _phase3_worker(partition: Partition, context: LabelingContext):
+    return label_partition(partition, context)
+
+
+@dataclass
+class RPDBSCANResult:
+    """Everything a run of RP-DBSCAN produced.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` int64 cluster labels; ``-1`` marks noise.
+    core_mask:
+        ``(n,)`` bool: whether each point was marked core.
+    n_clusters:
+        Number of clusters found.
+    counters:
+        Phase wall-times and per-task stats.
+    merge_stats:
+        Per-round edge counts of the tournament (Fig 17 / Table 7).
+    dictionary_model:
+        Lemma 4.3 size accounting of the broadcast dictionary (Table 5).
+    partition_sizes:
+        Points per pseudo random partition.
+    num_points:
+        Size of the input data set.
+    """
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+    n_clusters: int
+    counters: Counters
+    merge_stats: MergeStats
+    dictionary_model: DictionarySizeModel
+    partition_sizes: list[int] = field(default_factory=list)
+    num_points: int = 0
+    global_graph: CellGraph | None = None
+    subdict_stats: tuple[int, float] | None = None
+
+    @property
+    def noise_count(self) -> int:
+        """Number of points labeled as noise."""
+        return int(np.count_nonzero(self.labels == -1))
+
+    @property
+    def total_seconds(self) -> float:
+        """Total elapsed time across all phases."""
+        return self.counters.total_seconds()
+
+    @property
+    def load_imbalance(self) -> float:
+        """Slowest/fastest Phase II task ratio (Fig 13's metric)."""
+        return self.counters.load_imbalance(PHASE_CELL_GRAPH)
+
+    @property
+    def points_processed(self) -> int:
+        """Total points processed across splits in local clustering.
+
+        For RP-DBSCAN this always equals ``num_points`` — random
+        partitioning never duplicates a point (Fig 14's invariant).
+        """
+        return self.counters.items_processed(PHASE_CELL_GRAPH)
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Phase -> fraction of elapsed time, in phase order (Fig 12)."""
+        raw = self.counters.breakdown()
+        return {phase: raw.get(phase, 0.0) for phase in PHASES}
+
+
+class RPDBSCAN:
+    """Random Partitioning DBSCAN (the paper's Algorithm 1).
+
+    Parameters
+    ----------
+    eps:
+        Neighborhood radius (also the cell diagonal).
+    min_pts:
+        Minimum neighborhood size for a core point.
+    num_partitions:
+        Number of pseudo random partitions ``k`` (one engine task each).
+    rho:
+        Approximation parameter; ``0.01`` reproduces exact DBSCAN on the
+        paper's data sets (Table 4) and is the paper's default.
+    seed:
+        Seed for the partitioning RNG.
+    engine:
+        An :class:`~repro.engine.executors.Engine`, or ``None`` for a
+        fresh serial engine.
+    partition_method:
+        ``"random_key"`` (paper) or ``"shuffle"``.
+    candidate_strategy:
+        Candidate-cell search: ``"auto"``, ``"enumerate"``, ``"kdtree"``.
+    defragment_capacity:
+        When set, the broadcast dictionary is defragmented into
+        sub-dictionaries of at most this many entries (Sec 4.2.2) and
+        sub-dictionary-skipping statistics are collected.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import RPDBSCAN
+    >>> rng = np.random.default_rng(0)
+    >>> pts = np.concatenate([rng.normal(0, .1, (200, 2)),
+    ...                       rng.normal(3, .1, (200, 2))])
+    >>> result = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4).fit(pts)
+    >>> result.n_clusters
+    2
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        num_partitions: int = 8,
+        rho: float = 0.01,
+        *,
+        seed: int | None = 0,
+        engine: Engine | None = None,
+        partition_method: str = "random_key",
+        candidate_strategy: str = "auto",
+        defragment_capacity: int | None = None,
+    ) -> None:
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_pts < 1:
+            raise ValueError("min_pts must be >= 1")
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.eps = float(eps)
+        self.min_pts = int(min_pts)
+        self.num_partitions = int(num_partitions)
+        self.rho = float(rho)
+        self.seed = seed
+        self.engine = engine if engine is not None else Engine("serial")
+        self.partition_method = partition_method
+        self.candidate_strategy = candidate_strategy
+        self.defragment_capacity = defragment_capacity
+
+    def fit(self, points: np.ndarray) -> RPDBSCANResult:
+        """Cluster ``points`` and return the full result object."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be a 2-d array of shape (n, d)")
+        n, dim = pts.shape
+        counters = self.engine.counters
+        geometry = CellGeometry(self.eps, max(dim, 1), self.rho)
+        if n == 0:
+            return RPDBSCANResult(
+                labels=np.empty(0, dtype=np.int64),
+                core_mask=np.empty(0, dtype=bool),
+                n_clusters=0,
+                counters=counters,
+                merge_stats=MergeStats(edges_per_round=[0]),
+                dictionary_model=DictionarySizeModel(0, 0, dim or 1, geometry.h),
+                num_points=0,
+            )
+
+        # ---------------- Phase I-1: pseudo random partitioning --------
+        with counters.timed_phase(PHASE_PARTITION):
+            partitions = pseudo_random_partition(
+                pts,
+                geometry,
+                self.num_partitions,
+                seed=self.seed,
+                method=self.partition_method,
+            )
+
+        # ---------------- Phase I-2: dictionary building + broadcast ---
+        # Per-partition dictionary building is a map over partitions
+        # (Algorithm 2), so it runs as engine tasks; the union of the
+        # disjoint partials and the broadcast warm-up stay driver-side.
+        partials = self.engine.map_tasks(
+            _dictionary_worker,
+            [p for p in partitions if p.num_points > 0],
+            broadcast=geometry,
+            phase=PHASE_DICTIONARY,
+            item_counter=lambda p: p.num_cells,
+        )
+        with counters.timed_phase(PHASE_DICTIONARY):
+            dictionary = CellDictionary.merge(partials)
+            context = QueryContext(
+                dictionary,
+                strategy=self.candidate_strategy,
+                defragment_capacity=self.defragment_capacity,
+            )
+            if self.engine.mode == "serial":
+                # In serial mode all tasks share one context: build the
+                # query engine (and warm the center caches) inside the
+                # dictionary phase, where the paper's broadcast cost
+                # lives, so Phase II task timings stay uniform.
+                context.engine
+
+        # ---------------- Phase II: cell graph construction ------------
+        subgraph_results: list[SubgraphResult] = self.engine.map_tasks(
+            _phase2_worker,
+            partitions,
+            broadcast=(context, self.min_pts),
+            phase=PHASE_CELL_GRAPH,
+            item_counter=lambda p: p.num_points,
+        )
+
+        # ---------------- Phase III-1: progressive graph merging -------
+        with counters.timed_phase(PHASE_MERGE):
+            graphs = [r.graph for r in subgraph_results]
+            global_graph, merge_stats = progressive_merge(graphs)
+            core_masks = {r.pid: r.core_mask for r in subgraph_results}
+            labeling_context = build_labeling_context(
+                global_graph, partitions, core_masks, self.eps,
+                dictionary.index_map,
+            )
+
+        # ---------------- Phase III-2: point labeling ------------------
+        labels = np.full(n, -1, dtype=np.int64)
+        core_mask = np.zeros(n, dtype=bool)
+        label_chunks = self.engine.map_tasks(
+            _phase3_worker,
+            partitions,
+            broadcast=labeling_context,
+            phase=PHASE_LABEL,
+            item_counter=lambda p: p.num_points,
+        )
+        for (global_indices, chunk_labels), result in zip(label_chunks, subgraph_results):
+            labels[global_indices] = chunk_labels
+        for partition, result in zip(partitions, subgraph_results):
+            core_mask[partition.global_indices] = result.core_mask
+
+        subdict_stats = None
+        defrag = context.defragmented if self.defragment_capacity is not None else None
+        if defrag is not None:
+            subdict_stats = (defrag.num_sub_dicts, defrag.average_consulted())
+        return RPDBSCANResult(
+            labels=labels,
+            core_mask=core_mask,
+            n_clusters=labeling_context.n_clusters,
+            counters=counters,
+            merge_stats=merge_stats,
+            dictionary_model=dictionary.size_model(),
+            partition_sizes=[p.num_points for p in partitions],
+            num_points=n,
+            global_graph=global_graph,
+            subdict_stats=subdict_stats,
+        )
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` and return only the label array."""
+        return self.fit(points).labels

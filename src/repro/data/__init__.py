@@ -1,0 +1,37 @@
+"""Data substrate: synthetic generators and data-set stand-ins.
+
+:mod:`repro.data.generators` provides the paper's synthetic workloads —
+Moons / Blobs / Chameleon-like (Sec 7.5) and the skewness-controlled
+Gaussian mixtures of Appendix B.1 — and :mod:`repro.data.datasets`
+provides laptop-scale statistical stand-ins for the four real-world
+data sets of Table 3 (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.data.datasets import (
+    DATASETS,
+    cosmo50_like,
+    geolife_like,
+    openstreetmap_like,
+    teraclicklog_like,
+)
+from repro.data.generators import (
+    blobs,
+    chameleon_like,
+    gaussian_mixture,
+    moons,
+)
+from repro.data.io import load_points, save_points
+
+__all__ = [
+    "moons",
+    "blobs",
+    "chameleon_like",
+    "gaussian_mixture",
+    "DATASETS",
+    "geolife_like",
+    "cosmo50_like",
+    "openstreetmap_like",
+    "teraclicklog_like",
+    "load_points",
+    "save_points",
+]

@@ -1,0 +1,187 @@
+"""Synthetic workload generators.
+
+Covers everything the paper's evaluation synthesizes:
+
+* :func:`moons`, :func:`blobs`, :func:`chameleon_like` — the accuracy
+  data sets of Sec 7.5 / Fig 16 / Table 4 (each 100k points there).
+* :func:`gaussian_mixture` — the Appendix B.1 generator: ten
+  multivariate Gaussians with means uniform over ``[0, 100]^d`` and an
+  isotropic inverse covariance ``alpha * I``, where ``alpha`` is the
+  *skewness coefficient*: larger ``alpha`` concentrates points more
+  tightly around the means (Fig 18).
+
+All generators take a seed and return float64 arrays of shape ``(n, d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moons", "blobs", "chameleon_like", "gaussian_mixture", "ring", "spiral"]
+
+
+def moons(n: int, *, noise: float = 0.06, seed: int | None = 0) -> np.ndarray:
+    """Two interleaving half-circles ("Moons" of Table 4), 2-d.
+
+    Parameters
+    ----------
+    n:
+        Total number of points (split evenly across the two moons).
+    noise:
+        Standard deviation of Gaussian jitter added to each point.
+    seed:
+        RNG seed.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    rng = np.random.default_rng(seed)
+    n_upper = n // 2
+    n_lower = n - n_upper
+    theta_upper = rng.uniform(0.0, np.pi, n_upper)
+    theta_lower = rng.uniform(0.0, np.pi, n_lower)
+    upper = np.stack([np.cos(theta_upper), np.sin(theta_upper)], axis=1)
+    lower = np.stack([1.0 - np.cos(theta_lower), 0.5 - np.sin(theta_lower)], axis=1)
+    pts = np.concatenate([upper, lower])
+    pts += rng.normal(0.0, noise, pts.shape)
+    return pts
+
+
+def blobs(
+    n: int,
+    *,
+    centers: int = 3,
+    std: float = 0.35,
+    spread: float = 6.0,
+    dim: int = 2,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Isotropic Gaussian blobs ("Blobs" of Table 4).
+
+    Parameters
+    ----------
+    n:
+        Total number of points, split evenly among ``centers`` blobs.
+    centers:
+        Number of blobs.
+    std:
+        Per-blob standard deviation.
+    spread:
+        Blob centers are drawn uniformly from ``[0, spread]^dim``.
+    dim:
+        Dimensionality.
+    seed:
+        RNG seed.
+    """
+    if centers < 1:
+        raise ValueError("centers must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Rejection-sample centers at least 8*std apart so the blobs are
+    # actual separate clusters (falls back to whatever it has after a
+    # bounded number of tries when the space is too crowded).
+    means = [rng.uniform(0.0, spread, dim)]
+    attempts = 0
+    while len(means) < centers and attempts < 1000:
+        candidate = rng.uniform(0.0, spread, dim)
+        attempts += 1
+        if all(np.linalg.norm(candidate - m) >= 8.0 * std for m in means):
+            means.append(candidate)
+    while len(means) < centers:  # crowded space: give up on separation
+        means.append(rng.uniform(0.0, spread, dim))
+    means = np.asarray(means)
+    assignment = np.repeat(np.arange(centers), int(np.ceil(n / centers)))[:n]
+    pts = means[assignment] + rng.normal(0.0, std, (n, dim))
+    return pts
+
+
+def ring(n: int, *, center=(0.0, 0.0), radius: float = 1.0, noise: float = 0.05,
+         seed: int | None = 0) -> np.ndarray:
+    """Points on a 2-d ring with Gaussian radial jitter."""
+    rng = np.random.default_rng(seed)
+    theta = rng.uniform(0.0, 2 * np.pi, n)
+    r = radius + rng.normal(0.0, noise, n)
+    return np.stack(
+        [center[0] + r * np.cos(theta), center[1] + r * np.sin(theta)], axis=1
+    )
+
+
+def spiral(n: int, *, center=(0.0, 0.0), turns: float = 2.0, scale: float = 1.0,
+           noise: float = 0.03, seed: int | None = 0) -> np.ndarray:
+    """Points along a 2-d Archimedean spiral with jitter."""
+    rng = np.random.default_rng(seed)
+    t = np.sqrt(rng.uniform(0.05, 1.0, n)) * turns * 2 * np.pi
+    r = scale * t / (turns * 2 * np.pi)
+    pts = np.stack(
+        [center[0] + r * np.cos(t), center[1] + r * np.sin(t)], axis=1
+    )
+    return pts + rng.normal(0.0, noise, pts.shape)
+
+
+def chameleon_like(n: int, *, seed: int | None = 0) -> np.ndarray:
+    """A Chameleon-style data set: clusters of heterogeneous shape.
+
+    The Chameleon benchmark (Karypis et al., 1999) mixes elongated,
+    curved, and compact clusters with background noise.  This generator
+    reproduces that character with two spirals, a ring, two dense blobs,
+    an elongated stripe, and 5% uniform noise.
+    """
+    if n < 20:
+        raise ValueError("n must be >= 20")
+    rng = np.random.default_rng(seed)
+    weights = np.array([0.18, 0.18, 0.17, 0.14, 0.14, 0.14, 0.05])
+    counts = np.floor(weights * n).astype(int)
+    counts[-1] = n - counts[:-1].sum()
+    seed_base = int(rng.integers(0, 2**31)) if seed is None else seed
+    parts = [
+        spiral(counts[0], center=(0.0, 0.0), turns=1.8, scale=2.2,
+               noise=0.035, seed=seed_base + 1),
+        spiral(counts[1], center=(6.0, 0.5), turns=1.8, scale=2.2,
+               noise=0.035, seed=seed_base + 2),
+        ring(counts[2], center=(3.0, 4.5), radius=1.4, noise=0.05,
+             seed=seed_base + 3),
+        rng.normal([0.5, 4.8], 0.28, (counts[3], 2)),
+        rng.normal([6.2, 4.6], 0.28, (counts[4], 2)),
+        # Elongated stripe.
+        np.stack(
+            [
+                rng.uniform(-1.5, 7.5, counts[5]),
+                rng.normal(-2.6, 0.12, counts[5]),
+            ],
+            axis=1,
+        ),
+        # Background noise.
+        rng.uniform([-2.5, -3.5], [8.5, 6.5], (counts[6], 2)),
+    ]
+    return np.concatenate(parts)
+
+
+def gaussian_mixture(
+    n: int,
+    *,
+    dim: int = 3,
+    components: int = 10,
+    alpha: float = 1.0,
+    value_range: tuple[float, float] = (0.0, 100.0),
+    seed: int | None = 0,
+) -> np.ndarray:
+    """The Appendix B.1 Gaussian-mixture generator.
+
+    Each of ``components`` multivariate Gaussians has a mean drawn
+    uniformly from ``value_range`` per dimension and the isotropic
+    inverse covariance ``alpha * I`` — i.e. covariance ``(1/alpha) * I``
+    and standard deviation ``1/sqrt(alpha)``.  Larger ``alpha`` (the
+    *skewness coefficient*) clusters points more tightly around the
+    means, as in Fig 18.
+
+    Points outside ``value_range`` are kept (the tails carry the
+    low-density structure DBSCAN must reject as noise).
+    """
+    if components < 1:
+        raise ValueError("components must be >= 1")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = np.random.default_rng(seed)
+    lo, hi = value_range
+    means = rng.uniform(lo, hi, (components, dim))
+    std = 1.0 / np.sqrt(alpha)
+    assignment = rng.integers(0, components, n)
+    return means[assignment] + rng.normal(0.0, std, (n, dim))

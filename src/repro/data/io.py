@@ -1,0 +1,57 @@
+"""Point-set I/O: CSV and NPY, format chosen by file extension.
+
+The CLI and examples read and write data sets through these helpers so
+the on-disk formats stay in one place.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_points", "load_points", "save_labels", "load_labels"]
+
+
+def save_points(path: str | Path, points: np.ndarray) -> None:
+    """Write an ``(n, d)`` point array to ``path``.
+
+    ``.npy`` saves the binary numpy format; anything else is written as
+    comma-separated text with full float precision.
+    """
+    path = Path(path)
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be (n, d)")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".npy":
+        np.save(path, pts)
+    else:
+        np.savetxt(path, pts, delimiter=",")
+
+
+def load_points(path: str | Path) -> np.ndarray:
+    """Read an ``(n, d)`` point array written by :func:`save_points`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    if path.suffix == ".npy":
+        pts = np.load(path)
+    else:
+        pts = np.loadtxt(path, delimiter=",", dtype=np.float64)
+    pts = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+    if pts.ndim != 2:
+        raise ValueError(f"{path} does not contain a 2-d point array")
+    return pts
+
+
+def save_labels(path: str | Path, labels: np.ndarray) -> None:
+    """Write a label vector (one integer per line, ``-1`` = noise)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savetxt(path, np.asarray(labels, dtype=np.int64), fmt="%d")
+
+
+def load_labels(path: str | Path) -> np.ndarray:
+    """Read a label vector written by :func:`save_labels`."""
+    return np.loadtxt(Path(path), dtype=np.int64).reshape(-1)

@@ -1,0 +1,23 @@
+"""Execution-engine substrate: the repo's stand-in for Apache Spark.
+
+The paper runs on Spark over 12 Azure nodes.  Here the same MapReduce
+shape — partitioned tasks, a broadcast variable, per-task counters — is
+provided by a small engine with two executors:
+
+* ``serial``: runs tasks in-process, deterministically, recording each
+  task's wall time.  This is the default for tests and for experiments
+  whose *measurements* (load imbalance, duplication, phase breakdown)
+  only need accurate per-task timings.
+* ``process``: a :mod:`multiprocessing` pool for actual parallel speed.
+
+For scalability experiments (Figs 15 and 20) the measured per-task
+durations are replayed through :func:`repro.engine.simulate.makespan`
+to compute the elapsed time a ``w``-worker cluster would achieve, which
+reproduces the speed-up *shape* without 48 physical cores.
+"""
+
+from repro.engine.counters import Counters, TaskStats
+from repro.engine.executors import Engine
+from repro.engine.simulate import PhaseSchedule, makespan, speedup_curve
+
+__all__ = ["Engine", "Counters", "TaskStats", "makespan", "speedup_curve", "PhaseSchedule"]

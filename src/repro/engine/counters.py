@@ -1,0 +1,92 @@
+"""Per-task and per-phase counters — the Spark-counter equivalent.
+
+The paper's efficiency metrics all come "from the Spark counter"
+(Sec 7.1.5): elapsed time per job, per-task times for load imbalance
+(Fig 13), numbers of processed points for duplication (Fig 14), and the
+phase breakdown (Figs 12 and 21).  :class:`Counters` collects exactly
+those measurements from the engine.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["TaskStats", "Counters"]
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Measurements for one executed task.
+
+    Attributes
+    ----------
+    task_id:
+        Index of the task within its phase.
+    wall_time_s:
+        Wall-clock seconds the task body took.
+    items:
+        Number of data items (points, cells, edges...) the task
+        processed; used for the duplication metric.
+    """
+
+    task_id: int
+    wall_time_s: float
+    items: int = 0
+
+
+@dataclass
+class Counters:
+    """Accumulates task stats and phase timings for one algorithm run."""
+
+    phase_tasks: dict[str, list[TaskStats]] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def record_task(self, phase: str, stats: TaskStats) -> None:
+        """Append one task's stats under ``phase``."""
+        self.phase_tasks.setdefault(phase, []).append(stats)
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of elapsed time under ``phase``."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def timed_phase(self, phase: str):
+        """Context manager timing a whole phase's wall-clock duration."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase_time(phase, time.perf_counter() - start)
+
+    def total_seconds(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self.phase_seconds.values())
+
+    def task_times(self, phase: str) -> list[float]:
+        """Per-task wall times recorded under ``phase``."""
+        return [t.wall_time_s for t in self.phase_tasks.get(phase, [])]
+
+    def load_imbalance(self, phase: str) -> float:
+        """Slowest-task / fastest-task ratio for ``phase`` (Fig 13).
+
+        Returns 1.0 when the phase ran fewer than two tasks.  A tiny
+        epsilon guards against zero-duration fast tasks on coarse clocks.
+        """
+        times = self.task_times(phase)
+        if len(times) < 2:
+            return 1.0
+        fastest = max(min(times), 1e-9)
+        return max(times) / fastest
+
+    def items_processed(self, phase: str) -> int:
+        """Total items processed across tasks of ``phase`` (Fig 14)."""
+        return sum(t.items for t in self.phase_tasks.get(phase, []))
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase → fraction of total elapsed time (Figs 12 and 21)."""
+        total = self.total_seconds()
+        if total <= 0:
+            return {phase: 0.0 for phase in self.phase_seconds}
+        return {phase: sec / total for phase, sec in self.phase_seconds.items()}

@@ -1,0 +1,154 @@
+"""Cluster simulation: replay measured task durations on virtual workers.
+
+The paper's scalability experiments (Fig 15: 5-40 cores; Fig 20: data
+size) need a cluster.  We substitute a deterministic scheduler: given the
+wall-clock duration of every task of a phase (measured by the engine),
+compute the *makespan* a ``w``-worker cluster would achieve.  Because all
+parallel DBSCAN phases in this repo are embarrassingly parallel between
+partitions — exactly as on Spark — the makespan model captures the same
+effect the paper measures: more workers help until the slowest single
+task dominates, which is precisely why load balance matters.
+
+Two scheduling policies are provided:
+
+* ``"arrival"`` — greedy list scheduling in task order onto the earliest
+  available worker.  This matches Spark's default task dispatch.
+* ``"lpt"`` — Longest Processing Time first; the classic 4/3-approximation
+  used as an optimistic bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+__all__ = ["makespan", "speedup_curve", "PhaseSchedule"]
+
+
+def makespan(durations: Sequence[float], num_workers: int, policy: str = "arrival") -> float:
+    """Elapsed time of running ``durations`` on ``num_workers`` workers.
+
+    Parameters
+    ----------
+    durations:
+        Per-task wall-clock durations (seconds).
+    num_workers:
+        Number of parallel workers (``>= 1``).
+    policy:
+        ``"arrival"`` (in given order) or ``"lpt"`` (longest first).
+
+    Returns
+    -------
+    float
+        The simulated makespan in seconds.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if any(d < 0 for d in durations):
+        raise ValueError("task durations must be non-negative")
+    tasks = list(durations)
+    if not tasks:
+        return 0.0
+    if policy == "lpt":
+        tasks.sort(reverse=True)
+    elif policy != "arrival":
+        raise ValueError(f"unknown scheduling policy {policy!r}")
+    # Min-heap of worker finish times.
+    heap = [0.0] * min(num_workers, len(tasks))
+    heapq.heapify(heap)
+    for duration in tasks:
+        earliest = heapq.heappop(heap)
+        heapq.heappush(heap, earliest + duration)
+    return max(heap)
+
+
+def speedup_curve(
+    durations: Sequence[float],
+    worker_counts: Sequence[int],
+    *,
+    baseline_workers: int | None = None,
+    serial_overhead_s: float = 0.0,
+    policy: str = "arrival",
+) -> dict[int, float]:
+    """Speed-up over the smallest worker count, as in Fig 15.
+
+    The paper defines speed-up as "the ratio of the elapsed time with only
+    five cores to that with > 5 cores".  ``serial_overhead_s`` models the
+    non-parallel portion of the run (driver-side work such as the final
+    merge and broadcast), which bounds the achievable speed-up exactly as
+    Amdahl's law does on the real cluster.
+
+    Returns a dict mapping each worker count to its speed-up.
+    """
+    if not worker_counts:
+        return {}
+    base = baseline_workers if baseline_workers is not None else min(worker_counts)
+    base_time = makespan(durations, base, policy) + serial_overhead_s
+    out: dict[int, float] = {}
+    for w in worker_counts:
+        elapsed = makespan(durations, w, policy) + serial_overhead_s
+        out[w] = base_time / elapsed if elapsed > 0 else float("inf")
+    return out
+
+
+class PhaseSchedule:
+    """A whole algorithm run as a sequence of schedulable phases.
+
+    Each phase is one of:
+
+    * ``parallel`` — a list of measured task durations, scheduled onto
+      the workers (greedy makespan);
+    * ``divisible`` — driver work that splits perfectly (``t / w``),
+      e.g. a shuffle;
+    * ``constant`` — work whose duration is independent of the worker
+      count: genuinely serial driver code, a broadcast that every
+      executor loads concurrently, or a tournament's critical path.
+
+    ``elapsed(w)`` sums the phases for ``w`` workers; ``speedups``
+    reproduces the paper's Fig-15-style curves from one measured run.
+    """
+
+    def __init__(self) -> None:
+        self._phases: list[tuple[str, object]] = []
+
+    def add_parallel(self, task_seconds: Sequence[float]) -> "PhaseSchedule":
+        """Append a phase of independent tasks."""
+        self._phases.append(("parallel", list(task_seconds)))
+        return self
+
+    def add_divisible(self, seconds: float) -> "PhaseSchedule":
+        """Append perfectly divisible work (``seconds / w``)."""
+        self._phases.append(("divisible", float(seconds)))
+        return self
+
+    def add_constant(self, seconds: float) -> "PhaseSchedule":
+        """Append work independent of the worker count."""
+        self._phases.append(("constant", float(seconds)))
+        return self
+
+    def elapsed(self, num_workers: int, policy: str = "arrival") -> float:
+        """Simulated total elapsed time on ``num_workers`` workers."""
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        total = 0.0
+        for kind, payload in self._phases:
+            if kind == "parallel":
+                total += makespan(payload, num_workers, policy)
+            elif kind == "divisible":
+                total += payload / num_workers
+            else:
+                total += payload
+        return total
+
+    def speedups(
+        self, worker_counts: Sequence[int], *, baseline_workers: int | None = None
+    ) -> dict[int, float]:
+        """Speed-up of each worker count over the smallest (paper Fig 15)."""
+        if not worker_counts:
+            return {}
+        base = baseline_workers if baseline_workers is not None else min(worker_counts)
+        base_time = self.elapsed(base)
+        return {
+            w: (base_time / t if (t := self.elapsed(w)) > 0 else float("inf"))
+            for w in worker_counts
+        }

@@ -1,0 +1,12 @@
+"""Graph substrate: disjoint sets and spanning forests.
+
+Phase III of RP-DBSCAN reduces cell-graph merging to spanning-forest
+computation on the undirected *full* edges (Sec 6.1.4) and the final
+clustering to connected components.  The region-split baselines reuse the
+same union-find to merge local clusters through shared halo points.
+"""
+
+from repro.graph.spanning_forest import connected_components, spanning_forest
+from repro.graph.union_find import UnionFind
+
+__all__ = ["UnionFind", "spanning_forest", "connected_components"]

@@ -1,0 +1,57 @@
+"""Spanning forests and connected components over edge lists.
+
+Section 6.1.4 of the paper removes *redundant full edges* — edges that
+close a cycle between core cells — because a single path between cells
+suffices to express cluster connectivity.  A spanning forest over the
+undirected full edges keeps exactly the non-redundant ones and is
+computable in linear time with union-find.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.graph.union_find import UnionFind
+
+__all__ = ["spanning_forest", "connected_components"]
+
+Edge = tuple[Hashable, Hashable]
+
+
+def spanning_forest(edges: Iterable[Edge]) -> tuple[list[Edge], UnionFind]:
+    """Keep one spanning-forest edge set from undirected ``edges``.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs; direction is ignored (full edges in
+        the cell graph are undirected once their type is known).
+
+    Returns
+    -------
+    tuple
+        ``(kept_edges, union_find)`` where ``kept_edges`` are the edges
+        that joined two previously disconnected components (in input
+        order) and ``union_find`` holds the resulting connectivity.
+    """
+    uf = UnionFind()
+    kept: list[Edge] = []
+    for u, v in edges:
+        if uf.union(u, v):
+            kept.append((u, v))
+    return kept, uf
+
+
+def connected_components(
+    nodes: Iterable[Hashable], edges: Iterable[Edge]
+) -> dict[Hashable, int]:
+    """Dense component label for every node.
+
+    ``nodes`` may include isolated vertices that appear in no edge; they
+    each get their own component.  Labels are deterministic for equal
+    inputs (see :meth:`repro.graph.union_find.UnionFind.component_labels`).
+    """
+    uf = UnionFind(nodes)
+    for u, v in edges:
+        uf.union(u, v)
+    return uf.component_labels()

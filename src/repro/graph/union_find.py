@@ -1,0 +1,126 @@
+"""Disjoint-set (union-find) with path compression and union by rank.
+
+Works over arbitrary hashable items (cell ids are tuples of ints) and is
+used both for the spanning-forest edge reduction in Phase III and for the
+cluster merging of the region-split baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Union-find over hashable items.
+
+    Items are added lazily: :meth:`find` and :meth:`union` create
+    singleton sets for unseen items.
+
+    Examples
+    --------
+    >>> uf = UnionFind()
+    >>> uf.union((0, 0), (0, 1))
+    True
+    >>> uf.connected((0, 0), (0, 1))
+    True
+    >>> uf.union((0, 0), (0, 1))  # already joined
+    False
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        """Number of items tracked."""
+        return len(self._parent)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    @property
+    def set_count(self) -> int:
+        """Number of disjoint sets."""
+        return self._count
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set if unseen."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._count += 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Representative of the set containing ``item`` (added if new)."""
+        parent = self._parent
+        if item not in parent:
+            self.add(item)
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns ``True`` if the two items were in different sets (i.e. the
+        edge ``(a, b)`` is a spanning-forest edge), ``False`` if they were
+        already connected (the edge is redundant, Sec 6.1.4).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def copy(self) -> "UnionFind":
+        """Independent copy with the same connectivity."""
+        clone = UnionFind()
+        clone._parent = dict(self._parent)
+        clone._rank = dict(self._rank)
+        clone._count = self._count
+        return clone
+
+    def merge_from(self, other: "UnionFind") -> None:
+        """Union in all of ``other``'s connectivity (``other`` unchanged)."""
+        for item in other._parent:
+            self.union(item, other.find(item))
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict[Hashable, list[Hashable]]:
+        """Mapping from set representative to the list of its members."""
+        out: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+    def component_labels(self) -> dict[Hashable, int]:
+        """Dense integer label per item, stable across equal structures.
+
+        Labels are assigned in sorted order of the string form of the
+        representatives so that two structurally equal union-finds always
+        produce the same labeling (useful for deterministic cluster ids).
+        """
+        reps = sorted({self.find(item) for item in self._parent}, key=repr)
+        rep_to_label = {rep: i for i, rep in enumerate(reps)}
+        return {item: rep_to_label[self.find(item)] for item in self._parent}

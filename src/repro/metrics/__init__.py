@@ -1,0 +1,30 @@
+"""Clustering-quality and parallel-efficiency metrics.
+
+:mod:`repro.metrics.rand_index` implements the accuracy measure of
+Sec 7.1.5 (the Rand index, plus the adjusted variant);
+:mod:`repro.metrics.parallel_metrics` implements the efficiency measures
+of Figs 12-14 (load imbalance, duplication, phase breakdown).
+"""
+
+from repro.metrics.cluster_stats import (
+    ClusteringSummary,
+    cluster_sizes,
+    summarize_clustering,
+)
+from repro.metrics.parallel_metrics import (
+    duplication_ratio,
+    load_imbalance,
+    normalize_breakdown,
+)
+from repro.metrics.rand_index import adjusted_rand_index, rand_index
+
+__all__ = [
+    "ClusteringSummary",
+    "cluster_sizes",
+    "summarize_clustering",
+    "rand_index",
+    "adjusted_rand_index",
+    "load_imbalance",
+    "duplication_ratio",
+    "normalize_breakdown",
+]

@@ -1,0 +1,90 @@
+"""Descriptive statistics of a clustering (labels array).
+
+Used by examples and benches to summarize results the way the paper's
+prose does ("around ten clusters", noise fractions, dominant clusters on
+skewed data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClusteringSummary", "summarize_clustering", "cluster_sizes"]
+
+
+def cluster_sizes(labels: np.ndarray) -> dict[int, int]:
+    """Mapping cluster id -> member count (noise excluded)."""
+    labels = np.asarray(labels)
+    values, counts = np.unique(labels[labels >= 0], return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+@dataclass(frozen=True)
+class ClusteringSummary:
+    """Shape of one clustering.
+
+    Attributes
+    ----------
+    n_points:
+        Total number of points.
+    n_clusters:
+        Number of clusters.
+    noise:
+        Number of noise points.
+    largest:
+        Size of the largest cluster (0 when there are none).
+    smallest:
+        Size of the smallest cluster (0 when there are none).
+    median_size:
+        Median cluster size (0.0 when there are none).
+    """
+
+    n_points: int
+    n_clusters: int
+    noise: int
+    largest: int
+    smallest: int
+    median_size: float
+
+    @property
+    def noise_fraction(self) -> float:
+        """Noise points over all points (0.0 for an empty labeling)."""
+        if self.n_points == 0:
+            return 0.0
+        return self.noise / self.n_points
+
+    @property
+    def dominance(self) -> float:
+        """Largest cluster's share of the clustered points.
+
+        1.0 means a single cluster holds everything that clustered —
+        the signature of heavily skewed data like GeoLife's metro blob.
+        """
+        clustered = self.n_points - self.noise
+        if clustered <= 0:
+            return 0.0
+        return self.largest / clustered
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.n_clusters} clusters over {self.n_points} points "
+            f"({self.noise_fraction:.1%} noise; sizes "
+            f"{self.smallest}..{self.largest}, median {self.median_size:.0f})"
+        )
+
+
+def summarize_clustering(labels: np.ndarray) -> ClusteringSummary:
+    """Compute a :class:`ClusteringSummary` from a label vector."""
+    labels = np.asarray(labels)
+    sizes = sorted(cluster_sizes(labels).values())
+    return ClusteringSummary(
+        n_points=int(labels.shape[0]),
+        n_clusters=len(sizes),
+        noise=int(np.count_nonzero(labels == -1)),
+        largest=sizes[-1] if sizes else 0,
+        smallest=sizes[0] if sizes else 0,
+        median_size=float(np.median(sizes)) if sizes else 0.0,
+    )

@@ -1,0 +1,45 @@
+"""Parallel-efficiency metrics: the measurements behind Figs 12-14 & 21.
+
+* **Load imbalance** (Fig 13) — "the ratio of the elapsed time for the
+  slowest split to that for the fastest split during parallel local
+  clustering"; 1 is perfect balance.
+* **Duplication** (Fig 14) — "the number of data points in the union of
+  those processed for each split" relative to the data-set size; 1 means
+  no point is processed twice (always true for RP-DBSCAN).
+* **Phase breakdown** (Figs 12 & 21) — each phase's fraction of total
+  elapsed time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["load_imbalance", "duplication_ratio", "normalize_breakdown"]
+
+
+def load_imbalance(task_seconds: Sequence[float]) -> float:
+    """Slowest/fastest task ratio; 1.0 for < 2 tasks or perfect balance."""
+    times = [t for t in task_seconds if t >= 0]
+    if len(times) < 2:
+        return 1.0
+    fastest = max(min(times), 1e-9)
+    return max(times) / fastest
+
+
+def duplication_ratio(split_point_counts: Sequence[int], num_points: int) -> float:
+    """Total points processed across splits over the data-set size.
+
+    ``1.0`` means every point was processed exactly once; region-split
+    algorithms exceed 1 by the halo overlap factor.
+    """
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+    return sum(split_point_counts) / num_points
+
+
+def normalize_breakdown(phase_seconds: dict[str, float]) -> dict[str, float]:
+    """Phase durations normalized to fractions summing to 1 (or all 0)."""
+    total = sum(phase_seconds.values())
+    if total <= 0:
+        return {phase: 0.0 for phase in phase_seconds}
+    return {phase: seconds / total for phase, seconds in phase_seconds.items()}

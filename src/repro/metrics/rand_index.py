@@ -1,0 +1,100 @@
+"""Rand index and adjusted Rand index (Rand, 1971; Hubert & Arabie, 1985).
+
+The paper measures accuracy as "the Rand index, ... a value between 0
+and 1, where ... 1 indicates that the sets are exactly the same"
+(Sec 7.1.5), comparing RP-DBSCAN's clustering against exact DBSCAN's.
+
+DBSCAN labelings contain noise (label ``-1``).  Noise points are treated
+as *singleton clusters* by default: two clusterings only agree perfectly
+when they mark the same points as noise.  Set
+``noise_as_singletons=False`` to treat all noise as one shared cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rand_index", "adjusted_rand_index", "contingency_table"]
+
+
+def _prepare(labels: np.ndarray, noise_as_singletons: bool, offset: int) -> np.ndarray:
+    out = np.asarray(labels, dtype=np.int64).copy()
+    noise = out == -1
+    if noise_as_singletons and noise.any():
+        # Give each noise point a unique label beyond the real ones.
+        base = out.max(initial=-1) + 1 + offset
+        out[noise] = base + np.arange(int(noise.sum()))
+    return out
+
+
+def contingency_table(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense contingency matrix between two label vectors."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("label vectors must have equal length")
+    if a.size == 0:
+        return np.zeros((0, 0), dtype=np.int64)
+    _, a_idx = np.unique(a, return_inverse=True)
+    _, b_idx = np.unique(b, return_inverse=True)
+    table = np.zeros((a_idx.max() + 1, b_idx.max() + 1), dtype=np.int64)
+    np.add.at(table, (a_idx, b_idx), 1)
+    return table
+
+
+def _pair_counts(a: np.ndarray, b: np.ndarray) -> tuple[float, float, float, float]:
+    """Pair-counting sums: (sum_ij C(n_ij,2), sum_i C(a_i,2),
+    sum_j C(b_j,2), C(n,2))."""
+    table = contingency_table(a, b)
+    n = table.sum()
+
+    def comb2(x: np.ndarray) -> float:
+        x = x.astype(np.float64)
+        return float((x * (x - 1.0) / 2.0).sum())
+
+    return (
+        comb2(table),
+        comb2(table.sum(axis=1)),
+        comb2(table.sum(axis=0)),
+        float(n) * (float(n) - 1.0) / 2.0,
+    )
+
+
+def rand_index(
+    labels_a: np.ndarray, labels_b: np.ndarray, *, noise_as_singletons: bool = True
+) -> float:
+    """The Rand index between two labelings, in ``[0, 1]``.
+
+    Counts pairs of points on which the two clusterings agree (same
+    cluster in both, or different clusters in both) over all pairs.
+    Returns 1.0 for identical clusterings (including length-0 and
+    length-1 inputs, which have no pairs to disagree on).
+    """
+    a = _prepare(labels_a, noise_as_singletons, offset=0)
+    b = _prepare(labels_b, noise_as_singletons, offset=0)
+    sum_nij, sum_ai, sum_bj, total = _pair_counts(a, b)
+    if total == 0:
+        return 1.0
+    agree_same = sum_nij
+    agree_diff = total - sum_ai - sum_bj + sum_nij
+    return (agree_same + agree_diff) / total
+
+
+def adjusted_rand_index(
+    labels_a: np.ndarray, labels_b: np.ndarray, *, noise_as_singletons: bool = True
+) -> float:
+    """Adjusted Rand index: Rand index corrected for chance agreement.
+
+    1.0 for identical clusterings, ~0 for independent random ones; can
+    be negative for adversarial disagreement.
+    """
+    a = _prepare(labels_a, noise_as_singletons, offset=0)
+    b = _prepare(labels_b, noise_as_singletons, offset=0)
+    sum_nij, sum_ai, sum_bj, total = _pair_counts(a, b)
+    if total == 0:
+        return 1.0
+    expected = sum_ai * sum_bj / total
+    maximum = 0.5 * (sum_ai + sum_bj)
+    if maximum == expected:
+        return 1.0
+    return (sum_nij - expected) / (maximum - expected)

@@ -1,0 +1,119 @@
+"""Candidate-cell search shared by all cell-based algorithms.
+
+Given the set of non-empty cells of a grid, a
+:class:`NeighborCellFinder` answers: *which non-empty cells can contain
+a point within ``eps`` of some point of cell C?*  Those are exactly the
+cells whose box lies within ``eps`` of C's box.
+
+Two strategies (Lemma 5.6's "R*-tree or kd-tree" vs. direct hashing):
+
+* ``"enumerate"`` — precompute the integer offsets that satisfy the box
+  condition and probe the hash map; ideal in low dimensions.
+* ``"kdtree"`` — query a kd-tree over non-empty cell centers, then
+  filter by the exact box-to-box distance; required when the offset
+  table would be exponential in ``d``.
+
+``"auto"`` picks enumerate while the offset table stays small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spatial.grid import MAX_ENUMERATED_OFFSETS, neighbor_cell_offsets
+from repro.spatial.kdtree import KDTree
+
+__all__ = ["NeighborCellFinder"]
+
+CellId = tuple[int, ...]
+
+
+class NeighborCellFinder:
+    """Finds non-empty cells within ``eps`` (box distance) of a query cell.
+
+    Parameters
+    ----------
+    cell_ids:
+        The non-empty cells, as tuples of ints.
+    side:
+        Cell side length.
+    eps:
+        Reachability radius; with the paper's geometry this equals
+        ``side * sqrt(d)`` but any positive radius is accepted.
+    strategy:
+        ``"auto"``, ``"enumerate"``, or ``"kdtree"``.
+    """
+
+    def __init__(
+        self,
+        cell_ids: list[CellId] | set[CellId],
+        side: float,
+        eps: float,
+        *,
+        strategy: str = "auto",
+    ) -> None:
+        if side <= 0 or eps <= 0:
+            raise ValueError("side and eps must be positive")
+        self._cells = set(cell_ids)
+        self.side = float(side)
+        self.eps = float(eps)
+        sample = next(iter(self._cells), None)
+        self.dim = len(sample) if sample is not None else 1
+        if strategy == "auto":
+            reach = 1 + int(np.ceil(self.eps / self.side))
+            strategy = (
+                "enumerate"
+                if (2 * reach + 1) ** self.dim <= MAX_ENUMERATED_OFFSETS
+                else "kdtree"
+            )
+        if strategy not in ("enumerate", "kdtree"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self._offsets: np.ndarray | None = None
+        self._tree: KDTree | None = None
+        self._tree_ids: np.ndarray | None = None
+        if strategy == "enumerate":
+            self._offsets = self._build_offsets()
+        else:
+            self._build_tree()
+
+    def _build_offsets(self) -> np.ndarray:
+        reach = int(np.ceil(self.eps / self.side))
+        offsets = neighbor_cell_offsets(self.dim, radius_cells=reach + 1)
+        gap = np.maximum(np.abs(offsets) - 1, 0).astype(np.float64) * self.side
+        keep = np.einsum("ij,ij->i", gap, gap) <= self.eps**2 * (1 + 1e-12)
+        return offsets[keep]
+
+    def _build_tree(self) -> None:
+        ids = np.array(sorted(self._cells), dtype=np.int64)
+        if ids.size == 0:
+            ids = ids.reshape(0, self.dim)
+        centers = (ids.astype(np.float64) + 0.5) * self.side
+        self._tree = KDTree(centers)
+        self._tree_ids = ids
+
+    def candidates(self, cell_id: CellId) -> list[CellId]:
+        """Sorted non-empty cells whose box is within ``eps`` of
+        ``cell_id``'s box (including ``cell_id`` itself if non-empty).
+
+        ``cell_id`` need not be non-empty; queries from arbitrary cells
+        are supported.
+        """
+        if self.strategy == "enumerate":
+            assert self._offsets is not None
+            base = np.asarray(cell_id, dtype=np.int64)
+            raw = (base + self._offsets).tolist()  # python ints, cheap to hash
+            cells = self._cells
+            return sorted(t for row in raw if (t := tuple(row)) in cells)
+        assert self._tree is not None
+        center = (np.asarray(cell_id, dtype=np.float64) + 0.5) * self.side
+        # Box-box distance <= eps implies center distance <= eps + diagonal.
+        diagonal = self.side * float(np.sqrt(self.dim))
+        hits = self._tree.query_ball(center, self.eps + diagonal * (1 + 1e-12))
+        if hits.size == 0:
+            return []
+        others = self._tree_ids[hits]  # (m, d) int64
+        delta = np.abs(others - np.asarray(cell_id, dtype=np.int64))
+        gap = np.maximum(delta - 1, 0).astype(np.float64) * self.side
+        keep = np.einsum("ij,ij->i", gap, gap) <= (self.eps * (1 + 1e-12)) ** 2
+        return sorted(map(tuple, others[keep].tolist()))

@@ -1,0 +1,74 @@
+"""Euclidean distance helpers, vectorized with numpy.
+
+All DBSCAN variants in this repository use the Euclidean distance, as the
+paper does ("Scope: (2) Distance").  The helpers here avoid taking square
+roots wherever a squared comparison suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "euclidean",
+    "squared_distances",
+    "pairwise_distances",
+    "points_within",
+    "count_within",
+]
+
+
+def euclidean(p: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean distance between two points ``p`` and ``q``."""
+    diff = np.asarray(p, dtype=np.float64) - np.asarray(q, dtype=np.float64)
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def squared_distances(points: np.ndarray, center: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances from every row of ``points`` to ``center``.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    center:
+        Array of shape ``(d,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n,)`` with squared distances.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    c = np.asarray(center, dtype=np.float64)
+    diff = pts - c
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense matrix of Euclidean distances between rows of ``a`` and ``b``.
+
+    Uses the expansion ``|a - b|^2 = |a|^2 + |b|^2 - 2 a.b`` which is much
+    faster than broadcasting the difference tensor for moderate sizes.
+    Negative values caused by floating-point cancellation are clipped to
+    zero before the square root.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("pairwise_distances expects 2-d arrays")
+    a_sq = np.einsum("ij,ij->i", a, a)[:, None]
+    b_sq = np.einsum("ij,ij->i", b, b)[None, :]
+    sq = a_sq + b_sq - 2.0 * (a @ b.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq)
+
+
+def points_within(points: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:
+    """Boolean mask of the rows of ``points`` within ``radius`` of ``center``."""
+    return squared_distances(points, center) <= float(radius) ** 2
+
+
+def count_within(points: np.ndarray, center: np.ndarray, radius: float) -> int:
+    """Number of rows of ``points`` within ``radius`` of ``center``."""
+    return int(np.count_nonzero(points_within(points, center, radius)))

@@ -1,0 +1,189 @@
+"""Integer-grid geometry used by cell-based DBSCAN algorithms.
+
+A *grid* (paper Definition 3.1) divides the ``d``-dimensional space into
+hypercubes (*cells*) whose diagonal equals ``eps``, i.e. whose side equals
+``eps / sqrt(d)``.  Cells are addressed by their integer coordinates —
+the componentwise floor of ``point / side`` — so empty regions cost
+nothing.
+
+This module provides the pure geometry: identifying cells, grouping
+points by cell, bounding boxes of cells, and enumerating the relative
+offsets of cells that can possibly contain ``eps``-neighbors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GridSpec",
+    "cell_ids_for_points",
+    "group_points_by_cell",
+    "cell_box_bounds",
+    "box_min_distance_to_point",
+    "box_max_distance_to_point",
+    "neighbor_cell_offsets",
+    "MAX_ENUMERATED_OFFSETS",
+]
+
+#: Above this many candidate offsets, callers should switch from exhaustive
+#: offset enumeration to a kd-tree search over non-empty cells (the paper's
+#: "R*-tree or kd-tree" in Lemma 5.6).  Exhaustive enumeration is
+#: exponential in the dimension.
+MAX_ENUMERATED_OFFSETS = 200_000
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Geometry of a cell grid for a given ``eps`` and dimension.
+
+    Attributes
+    ----------
+    eps:
+        The DBSCAN neighborhood radius; also the cell *diagonal* length.
+    dim:
+        Dimensionality ``d`` of the data space.
+    side:
+        Side length of a cell, ``eps / sqrt(d)``, so that the diagonal is
+        exactly ``eps`` and any two points in one cell are within ``eps``.
+    """
+
+    eps: float
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.eps <= 0:
+            raise ValueError(f"eps must be positive, got {self.eps}")
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+
+    @property
+    def side(self) -> float:
+        """Cell side length (``eps / sqrt(d)``)."""
+        return self.eps / math.sqrt(self.dim)
+
+    @property
+    def diagonal(self) -> float:
+        """Cell diagonal length — equals ``eps`` by construction."""
+        return self.side * math.sqrt(self.dim)
+
+    def cell_id_of(self, point: np.ndarray) -> tuple[int, ...]:
+        """Integer cell coordinates containing ``point``."""
+        return tuple(int(v) for v in np.floor(np.asarray(point) / self.side))
+
+    def cell_origin(self, cell_id: tuple[int, ...]) -> np.ndarray:
+        """Lower corner of the cell with integer coordinates ``cell_id``."""
+        return np.asarray(cell_id, dtype=np.float64) * self.side
+
+    def cell_center(self, cell_id: tuple[int, ...]) -> np.ndarray:
+        """Center point of the given cell."""
+        return (np.asarray(cell_id, dtype=np.float64) + 0.5) * self.side
+
+
+def cell_ids_for_points(points: np.ndarray, side: float) -> np.ndarray:
+    """Integer cell coordinates for every row of ``points``.
+
+    Returns an ``(n, d)`` int64 array.  Vectorized: this is the hot path
+    of Phase I-1 (Algorithm 2, ``Map``).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be a 2-d array of shape (n, d)")
+    return np.floor(pts / float(side)).astype(np.int64)
+
+
+def group_points_by_cell(points: np.ndarray, side: float) -> dict[tuple[int, ...], np.ndarray]:
+    """Group point *indices* by the cell containing them.
+
+    Returns a dict mapping cell id (tuple of ints) to an int64 array of
+    row indices into ``points``.  Implemented with a single lexsort so the
+    cost is ``O(n log n)`` regardless of the number of cells.
+    """
+    ids = cell_ids_for_points(points, side)
+    n = ids.shape[0]
+    if n == 0:
+        return {}
+    order = np.lexsort(ids.T[::-1])
+    sorted_ids = ids[order]
+    # Boundaries where the sorted cell id changes.
+    change = np.any(sorted_ids[1:] != sorted_ids[:-1], axis=1)
+    boundaries = np.concatenate(([0], np.nonzero(change)[0] + 1, [n]))
+    groups: dict[tuple[int, ...], np.ndarray] = {}
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        key = tuple(int(v) for v in sorted_ids[start])
+        groups[key] = order[start:stop]
+    return groups
+
+
+def cell_box_bounds(cell_id: tuple[int, ...], side: float) -> tuple[np.ndarray, np.ndarray]:
+    """Lower and upper corners of a cell's axis-aligned bounding box."""
+    lo = np.asarray(cell_id, dtype=np.float64) * side
+    return lo, lo + side
+
+
+def box_min_distance_to_point(lo: np.ndarray, hi: np.ndarray, point: np.ndarray) -> float:
+    """Minimum Euclidean distance from ``point`` to the box ``[lo, hi]``."""
+    p = np.asarray(point, dtype=np.float64)
+    delta = np.maximum(np.maximum(lo - p, p - hi), 0.0)
+    return float(np.sqrt(np.dot(delta, delta)))
+
+
+def box_max_distance_to_point(lo: np.ndarray, hi: np.ndarray, point: np.ndarray) -> float:
+    """Maximum Euclidean distance from ``point`` to the box ``[lo, hi]``."""
+    p = np.asarray(point, dtype=np.float64)
+    delta = np.maximum(np.abs(lo - p), np.abs(hi - p))
+    return float(np.sqrt(np.dot(delta, delta)))
+
+
+def neighbor_cell_offsets(dim: int, *, radius_cells: int | None = None) -> np.ndarray:
+    """Relative integer offsets of cells that can hold an ``eps``-neighbor.
+
+    A cell at offset ``o`` from the query point's cell has a minimum
+    box-to-box distance of ``side * ||max(|o| - 1, 0)||``.  Since
+    ``eps = side * sqrt(d)``, the offset is relevant iff
+
+        ``sum(max(|o_i| - 1, 0)^2) <= d``.
+
+    The function enumerates all offsets in ``[-a, a]^d`` for the smallest
+    sufficient ``a`` and filters them by that condition.  For large ``d``
+    the enumeration blows up; callers must then fall back to a kd-tree
+    over non-empty cells (see :class:`repro.spatial.kdtree.KDTree`).
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the grid.
+    radius_cells:
+        Override for the enumeration radius ``a``; mainly for tests.
+
+    Returns
+    -------
+    numpy.ndarray
+        Int64 array of shape ``(m, d)`` including the zero offset.
+
+    Raises
+    ------
+    ValueError
+        If the enumeration would exceed :data:`MAX_ENUMERATED_OFFSETS`.
+    """
+    if radius_cells is None:
+        # Need max(|o| - 1, 0)^2 <= d in a single dimension, so
+        # |o| <= 1 + floor(sqrt(d)).
+        radius_cells = 1 + int(math.isqrt(dim))
+    span = 2 * radius_cells + 1
+    total = span**dim
+    if total > MAX_ENUMERATED_OFFSETS:
+        raise ValueError(
+            f"enumerating {total} offsets for dim={dim} exceeds "
+            f"MAX_ENUMERATED_OFFSETS={MAX_ENUMERATED_OFFSETS}; "
+            "use a kd-tree over non-empty cells instead"
+        )
+    axes = [np.arange(-radius_cells, radius_cells + 1)] * dim
+    offsets = np.array(list(itertools.product(*axes)), dtype=np.int64)
+    gap = np.maximum(np.abs(offsets) - 1, 0)
+    keep = np.einsum("ij,ij->i", gap, gap) <= dim
+    return offsets[keep]

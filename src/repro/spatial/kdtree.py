@@ -1,0 +1,158 @@
+"""A small kd-tree for radius queries over cell centers.
+
+The paper (Lemma 5.6) assumes candidate cells of an ``(eps, rho)``-region
+query are found "with R*-tree or kd-tree" in ``O(log |cell|)``.  For low
+dimensions we enumerate integer offsets instead (cheaper), but offset
+enumeration is exponential in ``d``; this kd-tree is the high-dimensional
+fallback, built once over the centers of the *non-empty* cells.
+
+The implementation is a classic median-split kd-tree with vectorized leaf
+scans.  It is deliberately simple: the number of non-empty cells is small
+compared to the number of points, so this index is never the bottleneck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KDTree"]
+
+_LEAF_SIZE = 32
+
+
+class _Node:
+    """Internal kd-tree node (leaf when ``axis`` is None)."""
+
+    __slots__ = ("axis", "threshold", "left", "right", "indices", "lo", "hi")
+
+    def __init__(self) -> None:
+        self.axis: int | None = None
+        self.threshold: float = 0.0
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.indices: np.ndarray | None = None
+        self.lo: np.ndarray | None = None
+        self.hi: np.ndarray | None = None
+
+
+class KDTree:
+    """kd-tree over an ``(n, d)`` array supporting ball queries.
+
+    Parameters
+    ----------
+    points:
+        The points to index.  A copy is not made; do not mutate.
+    leaf_size:
+        Maximum number of points stored in a leaf node.
+    """
+
+    def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE) -> None:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("KDTree expects a 2-d (n, d) array")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self._points = pts
+        self._leaf_size = int(leaf_size)
+        self._n, self._dim = pts.shape
+        indices = np.arange(self._n, dtype=np.int64)
+        self._root = self._build(indices) if self._n else None
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._dim
+
+    def _build(self, indices: np.ndarray) -> _Node:
+        node = _Node()
+        subset = self._points[indices]
+        node.lo = subset.min(axis=0)
+        node.hi = subset.max(axis=0)
+        if indices.shape[0] <= self._leaf_size:
+            node.indices = indices
+            return node
+        spread = node.hi - node.lo
+        axis = int(np.argmax(spread))
+        if spread[axis] == 0.0:
+            # All points identical along every axis: keep as a leaf.
+            node.indices = indices
+            return node
+        values = subset[:, axis]
+        median = float(np.median(values))
+        left_mask = values <= median
+        # Guard against degenerate splits when many values equal the median.
+        if left_mask.all() or not left_mask.any():
+            order = np.argsort(values, kind="stable")
+            half = indices.shape[0] // 2
+            left_mask = np.zeros(indices.shape[0], dtype=bool)
+            left_mask[order[:half]] = True
+            median = float(values[order[half - 1]])
+        node.axis = axis
+        node.threshold = median
+        node.left = self._build(indices[left_mask])
+        node.right = self._build(indices[~left_mask])
+        return node
+
+    def query_ball(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of all points within ``radius`` of ``center``.
+
+        Returns an int64 array (unsorted).  Distance is Euclidean and the
+        boundary is inclusive.
+        """
+        if self._root is None:
+            return np.empty(0, dtype=np.int64)
+        c = np.asarray(center, dtype=np.float64)
+        if c.shape != (self._dim,):
+            raise ValueError(f"center must have shape ({self._dim},)")
+        r2 = float(radius) ** 2
+        out: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            delta = np.maximum(np.maximum(node.lo - c, c - node.hi), 0.0)
+            if float(np.dot(delta, delta)) > r2:
+                continue
+            if node.indices is not None:
+                pts = self._points[node.indices]
+                diff = pts - c
+                mask = np.einsum("ij,ij->i", diff, diff) <= r2
+                if mask.any():
+                    out.append(node.indices[mask])
+                continue
+            stack.append(node.left)  # type: ignore[arg-type]
+            stack.append(node.right)  # type: ignore[arg-type]
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def query_nearest(self, center: np.ndarray) -> tuple[int, float]:
+        """Index of and distance to the nearest indexed point.
+
+        Raises :class:`ValueError` on an empty tree.
+        """
+        if self._root is None:
+            raise ValueError("query_nearest on an empty KDTree")
+        c = np.asarray(center, dtype=np.float64)
+        best_idx = -1
+        best_sq = np.inf
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            delta = np.maximum(np.maximum(node.lo - c, c - node.hi), 0.0)
+            if float(np.dot(delta, delta)) >= best_sq:
+                continue
+            if node.indices is not None:
+                pts = self._points[node.indices]
+                diff = pts - c
+                sq = np.einsum("ij,ij->i", diff, diff)
+                local = int(np.argmin(sq))
+                if sq[local] < best_sq:
+                    best_sq = float(sq[local])
+                    best_idx = int(node.indices[local])
+                continue
+            stack.append(node.left)  # type: ignore[arg-type]
+            stack.append(node.right)  # type: ignore[arg-type]
+        return best_idx, float(np.sqrt(best_sq))

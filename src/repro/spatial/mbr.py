@@ -1,0 +1,81 @@
+"""Minimum bounding rectangles (paper Definition 5.9).
+
+An MBR is the axis-aligned hypercube spanned by the smallest and largest
+coordinates of the sub-cells indexed in a sub-dictionary.  Consulting an
+MBR lets an ``(eps, rho)``-region query skip a whole sub-dictionary
+(Lemma 5.10): if along any axis the query point is more than ``eps`` away
+from the MBR, the sub-dictionary cannot contain a neighbor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MBR"]
+
+
+@dataclass(frozen=True)
+class MBR:
+    """Axis-aligned minimum bounding rectangle.
+
+    Attributes
+    ----------
+    lo:
+        Smallest coordinate per dimension.
+    hi:
+        Largest coordinate per dimension.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError("MBR corners must be 1-d arrays of equal shape")
+        if np.any(lo > hi):
+            raise ValueError("MBR lower corner exceeds upper corner")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "MBR":
+        """MBR of a non-empty ``(n, d)`` array of points."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("of_points expects a non-empty (n, d) array")
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the rectangle."""
+        return self.lo.shape[0]
+
+    def merged(self, other: "MBR") -> "MBR":
+        """Smallest MBR containing both ``self`` and ``other``."""
+        return MBR(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Whether ``point`` lies inside (or on the border of) the MBR."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+
+    def can_skip(self, point: np.ndarray, eps: float) -> bool:
+        """Lemma 5.10 skip test for an ``(eps, rho)``-region query.
+
+        Returns ``True`` when on some axis ``i`` either
+        ``hi[i] < point[i] - eps`` or ``lo[i] > point[i] + eps`` holds, in
+        which case no sub-cell center indexed under this MBR can be within
+        ``eps`` of ``point``.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.any(self.hi < p - eps) or np.any(self.lo > p + eps))
+
+    def min_distance_to(self, point: np.ndarray) -> float:
+        """Euclidean distance from ``point`` to the MBR (0 when inside)."""
+        p = np.asarray(point, dtype=np.float64)
+        delta = np.maximum(np.maximum(self.lo - p, p - self.hi), 0.0)
+        return float(np.sqrt(np.dot(delta, delta)))

@@ -1,0 +1,62 @@
+"""Unit tests for the shared BaselineResult type."""
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, relabel_dense
+
+
+def make_result(labels, **kwargs):
+    labels = np.asarray(labels, dtype=np.int64)
+    return BaselineResult(
+        labels=labels,
+        core_mask=np.zeros(labels.shape[0], dtype=bool),
+        n_clusters=int(labels.max() + 1) if labels.size else 0,
+        **kwargs,
+    )
+
+
+class TestBaselineResult:
+    def test_noise_count(self):
+        result = make_result([0, -1, 1, -1])
+        assert result.noise_count == 2
+
+    def test_load_imbalance(self):
+        result = make_result([0], split_task_seconds=[1.0, 4.0])
+        assert result.load_imbalance == 4.0
+
+    def test_load_imbalance_single_split(self):
+        result = make_result([0], split_task_seconds=[2.0])
+        assert result.load_imbalance == 1.0
+
+    def test_points_processed_defaults_to_n(self):
+        result = make_result([0, 1, 1])
+        assert result.points_processed == 3
+
+    def test_points_processed_with_duplication(self):
+        result = make_result([0, 1, 1], split_point_counts=[3, 2])
+        assert result.points_processed == 5
+
+    def test_total_seconds(self):
+        result = make_result([0], phase_seconds={"a": 1.0, "b": 0.5})
+        assert result.total_seconds == 1.5
+
+
+class TestRelabelDense:
+    def test_gaps_removed(self):
+        labels, k = relabel_dense(np.array([5, 5, 9, -1]))
+        assert labels.tolist() == [0, 0, 1, -1]
+        assert k == 2
+
+    def test_all_noise(self):
+        labels, k = relabel_dense(np.array([-1, -1]))
+        assert labels.tolist() == [-1, -1]
+        assert k == 0
+
+    def test_empty(self):
+        labels, k = relabel_dense(np.empty(0, dtype=np.int64))
+        assert labels.shape == (0,) and k == 0
+
+    def test_already_dense_unchanged(self):
+        labels, k = relabel_dense(np.array([0, 1, 2, 0]))
+        assert labels.tolist() == [0, 1, 2, 0]
+        assert k == 3

@@ -1,0 +1,111 @@
+"""Unit tests for the exact DBSCAN baseline.
+
+ExactDBSCAN is the ground truth of the whole evaluation, so it is itself
+validated against a brute-force O(n^2) reference implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dbscan import ExactDBSCAN
+from repro.graph.union_find import UnionFind
+from repro.metrics import rand_index
+
+
+def brute_force_dbscan(points, eps, min_pts):
+    """Textbook O(n^2) DBSCAN used as the reference."""
+    n = points.shape[0]
+    diff = points[:, None, :] - points[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    neighbors = dist <= eps
+    core = neighbors.sum(axis=1) >= min_pts
+    uf = UnionFind(np.nonzero(core)[0].tolist())
+    for i in np.nonzero(core)[0]:
+        for j in np.nonzero(neighbors[i] & core)[0]:
+            uf.union(int(i), int(j))
+    component = uf.component_labels()
+    labels = np.full(n, -1, dtype=np.int64)
+    for i, c in component.items():
+        labels[i] = c
+    for i in np.nonzero(~core)[0]:
+        hits = np.nonzero(neighbors[i] & core)[0]
+        if hits.size:
+            nearest = hits[np.argmin(dist[i, hits])]
+            labels[i] = component[int(nearest)]
+    return labels, core
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_blobs(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = np.concatenate(
+            [
+                rng.normal([0, 0], 0.2, (120, 2)),
+                rng.normal([2, 2], 0.2, (120, 2)),
+                rng.uniform(-1, 3, (40, 2)),
+            ]
+        )
+        eps, min_pts = 0.35, 8
+        expected_labels, expected_core = brute_force_dbscan(pts, eps, min_pts)
+        result = ExactDBSCAN(eps, min_pts).fit(pts)
+        np.testing.assert_array_equal(result.core_mask, expected_core)
+        # Same clusters up to renaming; border ties may differ, so use
+        # the Rand index on a strict threshold.
+        assert rand_index(result.labels, expected_labels) >= 0.999
+
+    def test_3d(self):
+        rng = np.random.default_rng(3)
+        pts = np.concatenate(
+            [rng.normal([0, 0, 0], 0.2, (100, 3)), rng.normal([3, 3, 3], 0.2, (100, 3))]
+        )
+        expected_labels, expected_core = brute_force_dbscan(pts, 0.5, 8)
+        result = ExactDBSCAN(0.5, 8).fit(pts)
+        np.testing.assert_array_equal(result.core_mask, expected_core)
+        assert rand_index(result.labels, expected_labels) == 1.0
+
+    def test_noise_identification(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 10, (200, 2))  # sparse uniform: all noise
+        result = ExactDBSCAN(0.1, 10).fit(pts)
+        assert result.n_clusters == 0
+        assert result.noise_count == 200
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        result = ExactDBSCAN(1.0, 5).fit(np.empty((0, 2)))
+        assert result.n_clusters == 0
+
+    def test_single_point_min_pts_1(self):
+        result = ExactDBSCAN(1.0, 1).fit(np.array([[0.0, 0.0]]))
+        assert result.n_clusters == 1
+        assert result.labels[0] == 0
+
+    def test_single_point_min_pts_2(self):
+        result = ExactDBSCAN(1.0, 2).fit(np.array([[0.0, 0.0]]))
+        assert result.labels[0] == -1
+
+    def test_duplicate_points(self):
+        pts = np.tile([1.0, 1.0], (20, 1))
+        result = ExactDBSCAN(0.5, 10).fit(pts)
+        assert result.n_clusters == 1
+        assert result.noise_count == 0
+
+    def test_two_points_at_exactly_eps(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        result = ExactDBSCAN(1.0, 2).fit(pts)  # inclusive boundary
+        assert result.n_clusters == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExactDBSCAN(0.0, 5)
+        with pytest.raises(ValueError):
+            ExactDBSCAN(1.0, 0)
+        with pytest.raises(ValueError):
+            ExactDBSCAN(1.0, 5).fit(np.zeros(3))
+
+    def test_labels_dense_from_zero(self, blobs_with_noise):
+        result = ExactDBSCAN(0.25, 10).fit(blobs_with_noise)
+        positive = np.unique(result.labels[result.labels >= 0])
+        np.testing.assert_array_equal(positive, np.arange(result.n_clusters))

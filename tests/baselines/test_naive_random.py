@@ -1,0 +1,44 @@
+"""Unit tests for the naive random-split baseline (Sec 2.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dbscan import ExactDBSCAN
+from repro.baselines.naive_random import NaiveRandomDBSCAN
+from repro.metrics import rand_index
+
+
+class TestClustering:
+    def test_well_separated_blobs(self, two_blobs):
+        result = NaiveRandomDBSCAN(0.3, 10, 4, seed=0).fit(two_blobs)
+        # Well-separated dense blobs survive the naive strategy.
+        assert result.n_clusters == 2
+
+    def test_loses_accuracy_vs_rp_dbscan(self, blobs_with_noise):
+        # The paper's Sec 2.2.1 claim: naive random split is approximate.
+        from repro import RPDBSCAN
+
+        exact = ExactDBSCAN(0.25, 10).fit(blobs_with_noise)
+        naive = NaiveRandomDBSCAN(0.25, 10, 8, seed=0).fit(blobs_with_noise)
+        rp = RPDBSCAN(0.25, 10, 8).fit(blobs_with_noise)
+        ri_naive = rand_index(exact.labels, naive.labels)
+        ri_rp = rand_index(exact.labels, rp.labels)
+        assert ri_rp >= ri_naive
+        assert ri_rp >= 0.999
+
+    def test_split_counts_are_disjoint_cover(self, two_blobs):
+        result = NaiveRandomDBSCAN(0.3, 10, 5, seed=0).fit(two_blobs)
+        assert sum(result.split_point_counts) == two_blobs.shape[0]
+
+    def test_empty(self):
+        result = NaiveRandomDBSCAN(0.3, 10, 4).fit(np.empty((0, 2)))
+        assert result.n_clusters == 0
+
+    def test_single_split_equals_local_exact(self, blobs_with_noise):
+        naive = NaiveRandomDBSCAN(0.25, 10, 1, seed=0).fit(blobs_with_noise)
+        exact = ExactDBSCAN(0.25, 10).fit(blobs_with_noise)
+        assert rand_index(exact.labels, naive.labels) >= 0.999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaiveRandomDBSCAN(0.3, 10, 0)

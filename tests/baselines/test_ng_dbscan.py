@@ -1,0 +1,62 @@
+"""Unit tests for NG-DBSCAN (vertex-centric approximate DBSCAN)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dbscan import ExactDBSCAN
+from repro.baselines.ng_dbscan import NGDBSCAN
+from repro.metrics import adjusted_rand_index
+
+
+class TestClustering:
+    def test_separated_blobs_found(self, two_blobs):
+        result = NGDBSCAN(0.3, 10, seed=0).fit(two_blobs)
+        assert result.n_clusters == 2
+        assert result.noise_count <= 5
+
+    def test_close_to_exact_on_easy_data(self, blobs_with_noise):
+        exact = ExactDBSCAN(0.25, 10).fit(blobs_with_noise)
+        ng = NGDBSCAN(0.25, 10, seed=0, max_supersteps=12).fit(blobs_with_noise)
+        assert ng.n_clusters == exact.n_clusters
+        assert adjusted_rand_index(exact.labels, ng.labels) >= 0.95
+
+    def test_more_supersteps_no_worse(self, blobs_with_noise):
+        exact = ExactDBSCAN(0.25, 10).fit(blobs_with_noise)
+        few = NGDBSCAN(0.25, 10, seed=3, max_supersteps=1).fit(blobs_with_noise)
+        many = NGDBSCAN(0.25, 10, seed=3, max_supersteps=12).fit(blobs_with_noise)
+        score_few = adjusted_rand_index(exact.labels, few.labels)
+        score_many = adjusted_rand_index(exact.labels, many.labels)
+        assert score_many >= score_few - 0.05
+
+    def test_sparse_data_is_noise(self, uniform_square):
+        result = NGDBSCAN(0.01, 50, seed=0).fit(uniform_square)
+        assert result.n_clusters == 0
+
+
+class TestMechanics:
+    def test_phase_seconds_reported(self, two_blobs):
+        result = NGDBSCAN(0.3, 10).fit(two_blobs)
+        assert "phase1 neighbor graph" in result.phase_seconds
+        assert "phase2 clustering" in result.phase_seconds
+
+    def test_deterministic_given_seed(self, two_blobs):
+        a = NGDBSCAN(0.3, 10, seed=7).fit(two_blobs)
+        b = NGDBSCAN(0.3, 10, seed=7).fit(two_blobs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_empty(self):
+        result = NGDBSCAN(0.3, 10).fit(np.empty((0, 2)))
+        assert result.n_clusters == 0
+
+    def test_tiny_input(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        result = NGDBSCAN(0.3, 2, seed=0).fit(pts)
+        assert result.labels.shape == (3,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NGDBSCAN(0.0, 5)
+        with pytest.raises(ValueError):
+            NGDBSCAN(1.0, 0)
+        with pytest.raises(ValueError):
+            NGDBSCAN(1.0, 5, k_neighbors=0)

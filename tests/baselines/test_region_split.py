@@ -1,0 +1,139 @@
+"""Unit tests for the region-split framework and its three strategies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dbscan import ExactDBSCAN
+from repro.baselines.region_split import (
+    Region,
+    RegionSplitDBSCAN,
+    partition_cost_based,
+    partition_even_split,
+    partition_reduced_boundary,
+)
+from repro.baselines import CBPDBSCAN, ESPDBSCAN, RBPDBSCAN, SparkDBSCAN
+from repro.metrics import rand_index
+
+
+@pytest.fixture(scope="module")
+def skewed_points():
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [
+            rng.normal([0, 0], 0.1, (800, 2)),  # dominant dense blob
+            rng.normal([5, 5], 0.3, (150, 2)),
+            rng.uniform(-2, 7, (50, 2)),
+        ]
+    )
+
+
+class TestRegion:
+    def test_contains_half_open(self):
+        region = Region((0.0, 0.0), (1.0, 1.0))
+        pts = np.array([[0.0, 0.0], [1.0, 0.5], [0.5, 0.5]])
+        assert region.contains(pts).tolist() == [True, False, True]
+
+    def test_expanded_contains_halo(self):
+        region = Region((0.0, 0.0), (1.0, 1.0))
+        pts = np.array([[-0.05, 0.5], [-0.2, 0.5]])
+        mask = region.contains_expanded(pts, eps=0.1)
+        assert mask.tolist() == [True, False]
+
+    def test_split(self):
+        region = Region((-np.inf, -np.inf), (np.inf, np.inf))
+        left, right = region.split(0, 2.0)
+        assert left.hi[0] == 2.0 and right.lo[0] == 2.0
+
+    def test_split_outside_rejected(self):
+        region = Region((0.0,), (1.0,))
+        with pytest.raises(ValueError):
+            region.split(0, 5.0)
+
+
+@pytest.mark.parametrize(
+    "partitioner",
+    [partition_even_split, partition_reduced_boundary, partition_cost_based],
+)
+class TestPartitioners:
+    def test_regions_partition_the_space(self, partitioner, skewed_points):
+        regions = partitioner(skewed_points, 6, eps=0.3)
+        ownership = np.zeros(skewed_points.shape[0], dtype=int)
+        for region in regions:
+            ownership += region.contains(skewed_points).astype(int)
+        assert np.all(ownership == 1)
+
+    def test_region_count(self, partitioner, skewed_points):
+        regions = partitioner(skewed_points, 5, eps=0.3)
+        assert len(regions) == 5
+
+    def test_single_region(self, partitioner, skewed_points):
+        regions = partitioner(skewed_points, 1, eps=0.3)
+        assert len(regions) == 1
+
+    def test_rejects_bad_k(self, partitioner, skewed_points):
+        with pytest.raises(ValueError):
+            partitioner(skewed_points, 0, eps=0.3)
+
+
+class TestEvenSplitBalance:
+    def test_point_counts_roughly_equal(self, skewed_points):
+        regions = partition_even_split(skewed_points, 4, eps=0.3)
+        counts = sorted(int(r.contains(skewed_points).sum()) for r in regions)
+        assert counts[-1] <= 2.2 * max(counts[0], 1)
+
+
+class TestReducedBoundary:
+    def test_fewer_halo_points_than_even_split(self, skewed_points):
+        eps = 0.3
+        halo = {}
+        for name, part in (
+            ("even", partition_even_split),
+            ("rbp", partition_reduced_boundary),
+        ):
+            regions = part(skewed_points, 4, eps)
+            total = sum(
+                int(r.contains_expanded(skewed_points, eps).sum()) for r in regions
+            )
+            halo[name] = total
+        assert halo["rbp"] <= halo["even"]
+
+
+class TestClusteringCorrectness:
+    @pytest.mark.parametrize("cls", [ESPDBSCAN, RBPDBSCAN, CBPDBSCAN, SparkDBSCAN])
+    def test_matches_exact_dbscan(self, cls, skewed_points):
+        eps, min_pts = 0.3, 10
+        exact = ExactDBSCAN(eps, min_pts).fit(skewed_points)
+        if cls is SparkDBSCAN:
+            result = cls(eps, min_pts, 4).fit(skewed_points)
+        else:
+            result = cls(eps, min_pts, 4, rho=0.01).fit(skewed_points)
+        assert result.n_clusters == exact.n_clusters
+        assert rand_index(exact.labels, result.labels) >= 0.995
+
+    def test_cluster_spanning_region_boundary(self):
+        # One elongated cluster crossing every cut must stay one cluster.
+        rng = np.random.default_rng(1)
+        pts = np.stack(
+            [np.linspace(0, 10, 1000), rng.normal(0, 0.05, 1000)], axis=1
+        )
+        result = ESPDBSCAN(0.3, 5, 4).fit(pts)
+        assert result.n_clusters == 1
+        assert result.noise_count == 0
+
+    def test_duplication_reported(self, skewed_points):
+        result = ESPDBSCAN(0.3, 10, 4).fit(skewed_points)
+        assert result.points_processed >= skewed_points.shape[0]
+        assert len(result.split_point_counts) == 4
+
+    def test_task_times_recorded(self, skewed_points):
+        result = CBPDBSCAN(0.3, 10, 4).fit(skewed_points)
+        assert len(result.split_task_seconds) == 4
+        assert result.load_imbalance >= 1.0
+
+    def test_empty_input(self):
+        result = ESPDBSCAN(0.3, 10, 4).fit(np.empty((0, 2)))
+        assert result.n_clusters == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionSplitDBSCAN(0.3, 10, local="telepathy")

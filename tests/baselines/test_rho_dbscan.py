@@ -1,0 +1,55 @@
+"""Unit tests for rho-approximate DBSCAN."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dbscan import ExactDBSCAN
+from repro.baselines.rho_dbscan import RhoDBSCAN
+from repro.metrics import rand_index
+
+
+class TestAccuracy:
+    def test_matches_exact_at_small_rho(self, blobs_with_noise):
+        exact = ExactDBSCAN(0.25, 10).fit(blobs_with_noise)
+        approx = RhoDBSCAN(0.25, 10, rho=0.01).fit(blobs_with_noise)
+        assert rand_index(exact.labels, approx.labels) >= 0.999
+
+    def test_rho_quality_ordering(self, blobs_with_noise):
+        # Smaller rho can only improve (or tie) agreement with exact.
+        exact = ExactDBSCAN(0.25, 10).fit(blobs_with_noise)
+        scores = [
+            rand_index(
+                exact.labels,
+                RhoDBSCAN(0.25, 10, rho=rho).fit(blobs_with_noise).labels,
+            )
+            for rho in (0.5, 0.05)
+        ]
+        assert scores[1] >= scores[0] - 1e-6
+
+    def test_cluster_count_stable_at_large_rho(self, two_blobs):
+        result = RhoDBSCAN(0.3, 10, rho=0.25).fit(two_blobs)
+        assert result.n_clusters == 2
+
+
+class TestBehaviour:
+    def test_empty(self):
+        result = RhoDBSCAN(0.3, 10).fit(np.empty((0, 2)))
+        assert result.n_clusters == 0
+
+    def test_equivalent_to_rp_dbscan_k1(self, blobs_with_noise):
+        from repro import RPDBSCAN
+
+        rho = RhoDBSCAN(0.25, 10, rho=0.01).fit(blobs_with_noise)
+        rp = RPDBSCAN(0.25, 10, num_partitions=1, rho=0.01).fit(blobs_with_noise)
+        np.testing.assert_array_equal(rho.core_mask, rp.core_mask)
+        assert rand_index(rho.labels, rp.labels) == 1.0
+
+    def test_fit_predict(self, two_blobs):
+        labels = RhoDBSCAN(0.3, 10).fit_predict(two_blobs)
+        assert labels.shape == (two_blobs.shape[0],)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RhoDBSCAN(-1.0, 5)
+        with pytest.raises(ValueError):
+            RhoDBSCAN(1.0, 0)

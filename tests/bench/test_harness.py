@@ -1,0 +1,79 @@
+"""Unit tests for the benchmark harness."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    AlgorithmTimeout,
+    call_with_timeout,
+    find_eps_for_clusters,
+    run_comparison,
+)
+
+
+class SlowAlgorithm:
+    def fit(self, points):
+        time.sleep(5.0)
+
+
+class TestTimeout:
+    def test_fast_call_passes(self):
+        assert call_with_timeout(lambda: 42, 5.0) == 42
+
+    def test_none_disables(self):
+        assert call_with_timeout(lambda: "ok", None) == "ok"
+
+    def test_slow_call_times_out(self):
+        with pytest.raises(AlgorithmTimeout):
+            call_with_timeout(lambda: time.sleep(3), 0.1)
+
+    def test_timer_cleared_after_use(self):
+        call_with_timeout(lambda: None, 1.0)
+        time.sleep(0.01)  # would fire if the timer leaked
+
+
+class TestRunComparison:
+    def test_rows_collected(self, two_blobs):
+        from repro import RPDBSCAN
+        from repro.baselines import ExactDBSCAN
+
+        rows = run_comparison(
+            {
+                "RP": lambda: RPDBSCAN(0.3, 10, 2),
+                "Exact": lambda: ExactDBSCAN(0.3, 10),
+            },
+            two_blobs,
+            params={"eps": 0.3},
+        )
+        assert [r.algorithm for r in rows] == ["RP", "Exact"]
+        for row in rows:
+            assert not row.timed_out
+            assert row.n_clusters == 2
+            assert row.params["eps"] == 0.3
+
+    def test_timeout_yields_na_row(self, two_blobs):
+        rows = run_comparison(
+            {"Slow": SlowAlgorithm}, two_blobs, timeout_s=0.1
+        )
+        assert rows[0].timed_out
+
+    def test_repeats_average(self, two_blobs):
+        from repro.baselines import ExactDBSCAN
+
+        rows = run_comparison(
+            {"Exact": lambda: ExactDBSCAN(0.3, 10)}, two_blobs, repeats=2
+        )
+        assert rows[0].elapsed_s > 0
+
+
+class TestFindEps:
+    def test_finds_separating_eps(self):
+        from repro.baselines.rho_dbscan import RhoDBSCAN
+        from repro.data.generators import blobs
+
+        pts = blobs(3000, centers=8, std=0.2, spread=30.0, seed=0)
+        eps = find_eps_for_clusters(pts, min_pts=10, target_clusters=8)
+        result = RhoDBSCAN(eps, 10, rho=0.05).fit(pts)
+        assert 4 <= result.n_clusters <= 14

@@ -1,0 +1,58 @@
+"""Unit tests for bench reporting."""
+
+import math
+
+import numpy as np
+
+from repro.bench.reporting import format_cell, format_table, render_ascii_scatter
+
+
+class TestFormatCell:
+    def test_nan_is_na(self):
+        assert format_cell(math.nan) == "N/A"
+
+    def test_none_is_na(self):
+        assert format_cell(None) == "N/A"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_small_float(self):
+        assert format_cell(0.1234) == "0.123"
+
+    def test_large_float_compact(self):
+        assert format_cell(123456.0) == "1.23e+05"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="My Table"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        out = format_table(["h1", "h2"], [])
+        assert "h1" in out
+
+
+class TestAsciiScatter:
+    def test_renders_clusters_and_noise(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        labels = np.array([0, 1, -1])
+        out = render_ascii_scatter(pts, labels, width=10, height=5)
+        assert "0" in out and "1" in out and "." in out
+
+    def test_empty(self):
+        assert render_ascii_scatter(np.empty((0, 2)), np.empty(0)) == "(empty)"
+
+    def test_degenerate_extent(self):
+        pts = np.zeros((5, 2))
+        out = render_ascii_scatter(pts, np.zeros(5), width=8, height=4)
+        assert "0" in out

@@ -1,0 +1,51 @@
+"""Shared fixtures: small, deterministic workloads for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def two_blobs() -> np.ndarray:
+    """Two well-separated 2-d Gaussian blobs (600 points)."""
+    rng = np.random.default_rng(42)
+    return np.concatenate(
+        [
+            rng.normal([0.0, 0.0], 0.1, (300, 2)),
+            rng.normal([3.0, 0.0], 0.1, (300, 2)),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def blobs_with_noise() -> np.ndarray:
+    """Three blobs plus uniform background noise (1,280 points)."""
+    rng = np.random.default_rng(7)
+    return np.concatenate(
+        [
+            rng.normal([0.0, 0.0], 0.12, (400, 2)),
+            rng.normal([3.0, 0.0], 0.12, (400, 2)),
+            rng.normal([1.5, 2.5], 0.2, (400, 2)),
+            rng.uniform(-1.0, 4.0, (80, 2)),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def three_d_blobs() -> np.ndarray:
+    """Two 3-d blobs (400 points)."""
+    rng = np.random.default_rng(3)
+    return np.concatenate(
+        [
+            rng.normal([0.0, 0.0, 0.0], 0.15, (200, 3)),
+            rng.normal([4.0, 4.0, 4.0], 0.15, (200, 3)),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def uniform_square() -> np.ndarray:
+    """Uniform 2-d points in the unit square (500 points)."""
+    rng = np.random.default_rng(11)
+    return rng.uniform(0.0, 1.0, (500, 2))

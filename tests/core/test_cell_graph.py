@@ -1,0 +1,192 @@
+"""Unit tests for repro.core.cell_graph (Def 5.8, Sec 6.1)."""
+
+import pytest
+
+from repro.core.cell_graph import CellGraph, EdgeType
+
+
+def make_graph():
+    g = CellGraph()
+    g.add_core_cell((0, 0))
+    g.add_core_cell((0, 1))
+    g.add_noncore_cell((1, 0))
+    g.add_undetermined_cell((2, 0))
+    g.add_edge((0, 0), (0, 1), EdgeType.FULL)
+    g.add_edge((0, 0), (1, 0), EdgeType.PARTIAL)
+    g.add_edge((0, 1), (2, 0), EdgeType.UNDETERMINED)
+    return g
+
+
+class TestVertexClasses:
+    def test_vertex_status(self):
+        g = make_graph()
+        assert g.vertex_status((0, 0)) == "core"
+        assert g.vertex_status((1, 0)) == "noncore"
+        assert g.vertex_status((2, 0)) == "undetermined"
+        assert g.vertex_status((9, 9)) == "absent"
+
+    def test_promotion_from_undetermined(self):
+        g = CellGraph()
+        g.add_undetermined_cell((0, 0))
+        g.add_core_cell((0, 0))
+        assert g.vertex_status((0, 0)) == "core"
+        assert not g.undetermined
+
+    def test_core_and_noncore_conflict(self):
+        g = CellGraph()
+        g.add_core_cell((0, 0))
+        with pytest.raises(ValueError):
+            g.add_noncore_cell((0, 0))
+
+    def test_undetermined_does_not_demote(self):
+        g = CellGraph()
+        g.add_core_cell((0, 0))
+        g.add_undetermined_cell((0, 0))
+        assert g.vertex_status((0, 0)) == "core"
+
+    def test_counts(self):
+        g = make_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+
+
+class TestEdges:
+    def test_determined_edges_not_downgraded(self):
+        g = make_graph()
+        g.add_edge((0, 0), (0, 1), EdgeType.UNDETERMINED)
+        assert g.edges[((0, 0), (0, 1))] is EdgeType.FULL
+
+    def test_undetermined_upgraded(self):
+        g = CellGraph()
+        g.add_core_cell((0, 0))
+        g.add_undetermined_cell((1, 1))
+        g.add_edge((0, 0), (1, 1), EdgeType.UNDETERMINED)
+        g.add_edge((0, 0), (1, 1), EdgeType.FULL)
+        assert g.edges[((0, 0), (1, 1))] is EdgeType.FULL
+
+    def test_edges_of_type_sorted(self):
+        g = make_graph()
+        assert g.edges_of_type(EdgeType.FULL) == [((0, 0), (0, 1))]
+
+
+class TestMerge:
+    def test_merge_promotes_undetermined(self):
+        a = CellGraph()
+        a.add_core_cell((0, 0))
+        a.add_undetermined_cell((5, 5))
+        a.add_edge((0, 0), (5, 5), EdgeType.UNDETERMINED)
+        b = CellGraph()
+        b.add_core_cell((5, 5))
+        merged = CellGraph.merge(a, b)
+        assert merged.vertex_status((5, 5)) == "core"
+        assert merged.edges[((0, 0), (5, 5))] is EdgeType.UNDETERMINED
+        resolved = merged.detect_edge_types()
+        assert resolved == 1
+        assert merged.edges[((0, 0), (5, 5))] is EdgeType.FULL
+
+    def test_merge_prefers_determined_edge(self):
+        a = CellGraph()
+        a.add_core_cell((0, 0))
+        a.add_undetermined_cell((1, 1))
+        a.add_edge((0, 0), (1, 1), EdgeType.UNDETERMINED)
+        b = CellGraph()
+        b.add_core_cell((0, 0))
+        b.add_core_cell((1, 1))
+        b.add_edge((0, 0), (1, 1), EdgeType.FULL)
+        merged = CellGraph.merge(a, b)
+        assert merged.edges[((0, 0), (1, 1))] is EdgeType.FULL
+
+    def test_merge_noncore_resolution(self):
+        a = CellGraph()
+        a.add_core_cell((0, 0))
+        a.add_undetermined_cell((1, 1))
+        a.add_edge((0, 0), (1, 1), EdgeType.UNDETERMINED)
+        b = CellGraph()
+        b.add_noncore_cell((1, 1))
+        merged = CellGraph.merge(a, b)
+        merged.detect_edge_types()
+        assert merged.edges[((0, 0), (1, 1))] is EdgeType.PARTIAL
+
+    def test_is_global(self):
+        g = make_graph()
+        assert not g.is_global()
+        g2 = CellGraph()
+        g2.add_core_cell((0, 0))
+        assert g2.is_global()
+
+
+class TestEdgeReduction:
+    def test_cycle_removed(self):
+        g = CellGraph()
+        for cell in [(0, 0), (0, 1), (1, 0)]:
+            g.add_core_cell(cell)
+        g.add_edge((0, 0), (0, 1), EdgeType.FULL)
+        g.add_edge((0, 1), (1, 0), EdgeType.FULL)
+        g.add_edge((1, 0), (0, 0), EdgeType.FULL)
+        removed = g.reduce_full_edges()
+        assert removed == 1
+        assert len(g.edges_of_type(EdgeType.FULL)) == 2
+
+    def test_reverse_duplicate_removed(self):
+        g = CellGraph()
+        g.add_core_cell((0, 0))
+        g.add_core_cell((0, 1))
+        g.add_edge((0, 0), (0, 1), EdgeType.FULL)
+        g.add_edge((0, 1), (0, 0), EdgeType.FULL)
+        assert g.reduce_full_edges() == 1
+
+    def test_partial_edges_untouched(self):
+        g = make_graph()
+        before = g.edges_of_type(EdgeType.PARTIAL)
+        g.reduce_full_edges()
+        assert g.edges_of_type(EdgeType.PARTIAL) == before
+
+    def test_connectivity_preserved(self):
+        from repro.graph.spanning_forest import connected_components
+
+        g = CellGraph()
+        cells = [(i, 0) for i in range(6)]
+        for cell in cells:
+            g.add_core_cell(cell)
+        edges = [
+            (cells[0], cells[1]),
+            (cells[1], cells[2]),
+            (cells[2], cells[0]),
+            (cells[3], cells[4]),
+            (cells[4], cells[5]),
+            (cells[5], cells[3]),
+        ]
+        for src, dst in edges:
+            g.add_edge(src, dst, EdgeType.FULL)
+        before = connected_components(cells, g.edges_of_type(EdgeType.FULL))
+        g.reduce_full_edges()
+        after = connected_components(cells, g.edges_of_type(EdgeType.FULL))
+        assert before == after
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        make_graph().validate()
+
+    def test_unknown_vertex_rejected(self):
+        g = CellGraph()
+        g.add_core_cell((0, 0))
+        g.edges[((0, 0), (9, 9))] = EdgeType.FULL
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_noncore_source_rejected(self):
+        g = CellGraph()
+        g.add_noncore_cell((0, 0))
+        g.add_core_cell((1, 1))
+        g.edges[((0, 0), (1, 1))] = EdgeType.PARTIAL
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_full_edge_to_noncore_rejected(self):
+        g = CellGraph()
+        g.add_core_cell((0, 0))
+        g.add_noncore_cell((1, 1))
+        g.edges[((0, 0), (1, 1))] = EdgeType.FULL
+        with pytest.raises(ValueError):
+            g.validate()

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.cells (Definitions 3.1 and 4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cells import CellGeometry, h_for_rho
+
+
+class TestHForRho:
+    """h = 1 + ceil(log2(1/rho)) — Definition 4.1."""
+
+    @pytest.mark.parametrize(
+        "rho,expected",
+        [(1.0, 1), (0.5, 2), (0.25, 3), (0.10, 5), (0.05, 6), (0.01, 8)],
+    )
+    def test_values(self, rho, expected):
+        assert h_for_rho(rho) == expected
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            h_for_rho(0.0)
+        with pytest.raises(ValueError):
+            h_for_rho(1.5)
+        with pytest.raises(ValueError):
+            h_for_rho(-0.1)
+
+
+class TestGeometry:
+    def test_sub_diagonal_bounded_by_rho_eps(self):
+        # Definition 4.1 guarantees sub-cell diagonal <= rho * eps.
+        for rho in (0.01, 0.05, 0.10, 0.37, 1.0):
+            geometry = CellGeometry(eps=2.0, dim=3, rho=rho)
+            assert geometry.sub_diagonal <= rho * geometry.eps + 1e-12
+
+    def test_splits_per_dim(self):
+        geometry = CellGeometry(eps=1.0, dim=2, rho=0.01)
+        assert geometry.splits_per_dim == 2 ** (geometry.h - 1) == 128
+
+    def test_subcells_per_cell(self):
+        geometry = CellGeometry(eps=1.0, dim=2, rho=0.5)
+        assert geometry.subcells_per_cell == 4  # 2^(d(h-1)) with h=2, d=2
+
+    def test_side_times_sqrt_d_is_eps(self):
+        geometry = CellGeometry(eps=0.7, dim=5, rho=0.1)
+        assert math.isclose(geometry.side * math.sqrt(5), 0.7)
+
+
+class TestPointAssignment:
+    def test_cell_ids_match_grid(self):
+        geometry = CellGeometry(eps=math.sqrt(2), dim=2, rho=0.5)  # side = 1
+        pts = np.array([[0.5, 0.5], [-0.1, 1.9], [2.0, -3.0]])
+        ids = geometry.cell_ids(pts)
+        assert ids.tolist() == [[0, 0], [-1, 1], [2, -3]]
+
+    def test_sub_cell_coords_in_range(self):
+        geometry = CellGeometry(eps=1.0, dim=3, rho=0.05)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-2, 2, (200, 3))
+        ids = geometry.cell_ids(pts)
+        local = geometry.sub_cell_coords(pts, ids)
+        assert local.dtype == np.uint16
+        assert local.min() >= 0
+        assert local.max() < geometry.splits_per_dim
+
+    def test_point_within_half_sub_diagonal_of_center(self):
+        # The approximation premise of Lemma 5.2: dist(p, center of its
+        # sub-cell) <= rho * eps / 2.
+        geometry = CellGeometry(eps=0.8, dim=2, rho=0.05)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-1, 1, (300, 2))
+        ids = geometry.cell_ids(pts)
+        local = geometry.sub_cell_coords(pts, ids)
+        for i in range(pts.shape[0]):
+            center = geometry.sub_cell_centers(
+                tuple(ids[i].tolist()), local[i][None, :]
+            )[0]
+            dist = float(np.linalg.norm(pts[i] - center))
+            assert dist <= geometry.rho * geometry.eps / 2 + 1e-12
+
+    def test_boundary_point_clamped(self):
+        geometry = CellGeometry(eps=math.sqrt(2), dim=2, rho=0.5)
+        # A point exactly on the upper corner of cell (0,0) belongs to
+        # cell (1,1); feed it cell (0,0) ids to exercise the clamp.
+        pts = np.array([[1.0, 1.0]])
+        local = geometry.sub_cell_coords(pts, np.array([[0, 0]]))
+        assert local.max() == geometry.splits_per_dim - 1
+
+
+class TestCellBoxes:
+    def test_box_contains_its_points(self):
+        geometry = CellGeometry(eps=0.6, dim=2, rho=0.1)
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(-2, 2, (100, 2))
+        ids = geometry.cell_ids(pts)
+        for i in range(pts.shape[0]):
+            lo, hi = geometry.cell_box(tuple(ids[i].tolist()))
+            assert np.all(pts[i] >= lo - 1e-12) and np.all(pts[i] <= hi + 1e-12)
+
+    def test_box_min_distance_adjacent_is_zero(self):
+        geometry = CellGeometry(eps=1.0, dim=2, rho=0.5)
+        assert geometry.cell_box_min_distance((0, 0), (1, 0)) == 0.0
+
+    def test_box_min_distance_with_gap(self):
+        geometry = CellGeometry(eps=math.sqrt(2), dim=2, rho=0.5)  # side 1
+        assert math.isclose(geometry.cell_box_min_distance((0, 0), (3, 0)), 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellGeometry(eps=-1.0, dim=2, rho=0.5)
+        with pytest.raises(ValueError):
+            CellGeometry(eps=1.0, dim=2, rho=0.0)

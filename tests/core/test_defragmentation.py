@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.defragmentation (Sec 4.2.2, Defs 4.4/5.9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cells import CellGeometry
+from repro.core.defragmentation import defragment
+from repro.core.dictionary import CellDictionary
+
+
+@pytest.fixture()
+def geometry():
+    return CellGeometry(eps=0.5, dim=2, rho=0.1)
+
+
+@pytest.fixture()
+def dictionary(geometry):
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 5, (3000, 2))
+    return CellDictionary.from_points(pts, geometry)
+
+
+class TestDefragment:
+    def test_pieces_cover_dictionary_disjointly(self, dictionary):
+        defrag = defragment(dictionary, capacity=200)
+        seen = set()
+        for sub in defrag.sub_dicts:
+            assert not (seen & sub.cells.keys())
+            seen |= sub.cells.keys()
+        assert seen == set(dictionary.cells)
+
+    def test_capacity_respected(self, dictionary):
+        capacity = 150
+        defrag = defragment(dictionary, capacity=capacity)
+        for sub in defrag.sub_dicts:
+            # A leaf piece can exceed capacity only if it is one cell.
+            assert sub.num_entries <= capacity or len(sub.cells) == 1
+
+    def test_balanced_sizes(self, dictionary):
+        defrag = defragment(dictionary, capacity=300)
+        sizes = [sub.num_entries for sub in defrag.sub_dicts]
+        assert max(sizes) <= 3 * max(min(sizes), 1)
+
+    def test_huge_capacity_single_piece(self, dictionary):
+        defrag = defragment(dictionary, capacity=10**9)
+        assert defrag.num_sub_dicts == 1
+
+    def test_empty_dictionary(self, geometry):
+        empty = CellDictionary(geometry, {})
+        defrag = defragment(empty, capacity=10)
+        assert defrag.num_sub_dicts == 0
+
+    def test_rejects_bad_capacity(self, dictionary):
+        with pytest.raises(ValueError):
+            defragment(dictionary, capacity=0)
+
+    def test_mbr_covers_subcell_centers(self, dictionary):
+        defrag = defragment(dictionary, capacity=200)
+        for sub in defrag.sub_dicts:
+            for cell_id in sub.cells:
+                centers = dictionary.sub_cell_centers(cell_id)
+                assert np.all(centers >= sub.mbr.lo - 1e-9)
+                assert np.all(centers <= sub.mbr.hi + 1e-9)
+
+    def test_geometric_contiguity(self, dictionary):
+        # BSP cuts are axis-aligned hyperplanes, so two sub-dictionaries
+        # never interleave: piece MBRs can overlap only on boundaries.
+        defrag = defragment(dictionary, capacity=400)
+        owners = {}
+        for idx, sub in enumerate(defrag.sub_dicts):
+            for cell_id in sub.cells:
+                owners[cell_id] = idx
+        assert len({owners[c] for c in dictionary.cells}) == defrag.num_sub_dicts
+
+
+class TestOwnerLookup:
+    def test_owner_of(self, dictionary):
+        defrag = defragment(dictionary, capacity=200)
+        for idx, sub in enumerate(defrag.sub_dicts):
+            for cell_id in sub.cells:
+                assert defrag.owner_of(cell_id) == idx
+
+
+class TestSkipping:
+    def test_relevant_subdicts_never_skip_neighbors(self, dictionary, geometry):
+        # Soundness of Lemma 5.10: a sub-dictionary containing a sub-cell
+        # center within eps of the query is always kept.
+        defrag = defragment(dictionary, capacity=200)
+        rng = np.random.default_rng(1)
+        eps = geometry.eps
+        for _ in range(20):
+            query = rng.uniform(0, 5, 2)
+            kept = set(defrag.relevant_sub_dicts(query, eps))
+            for idx, sub in enumerate(defrag.sub_dicts):
+                for cell_id in sub.cells:
+                    centers = dictionary.sub_cell_centers(cell_id)
+                    diff = centers - query
+                    if np.any(np.einsum("ij,ij->i", diff, diff) <= eps * eps):
+                        assert idx in kept
+
+    def test_far_query_skips_everything(self, dictionary, geometry):
+        defrag = defragment(dictionary, capacity=200)
+        kept = defrag.relevant_sub_dicts(np.array([1e6, 1e6]), geometry.eps)
+        assert kept == []
+
+    def test_statistics_accumulate(self, dictionary, geometry):
+        defrag = defragment(dictionary, capacity=200)
+        assert defrag.average_consulted() == 0.0
+        defrag.relevant_sub_dicts(np.array([2.5, 2.5]), geometry.eps)
+        assert defrag.queries == 1
+        assert defrag.average_consulted() >= 0
+
+    def test_record_cells_consulted(self, dictionary):
+        defrag = defragment(dictionary, capacity=200)
+        some_cells = list(dictionary.cells)[:5]
+        touched = defrag.record_cells_consulted(some_cells)
+        assert 1 <= touched <= defrag.num_sub_dicts
+        assert defrag.queries == 1

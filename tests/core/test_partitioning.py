@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.partitioning (Sec 4.1, Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cells import CellGeometry
+from repro.core.partitioning import pseudo_random_partition, true_random_partition
+
+
+@pytest.fixture()
+def geometry():
+    return CellGeometry(eps=0.5, dim=2, rho=0.05)
+
+
+@pytest.fixture()
+def points():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0, 4, (2000, 2))
+
+
+class TestPseudoRandomPartition:
+    def test_is_a_partition_of_points(self, points, geometry):
+        partitions = pseudo_random_partition(points, geometry, 5, seed=0)
+        indices = np.concatenate([p.global_indices for p in partitions])
+        assert sorted(indices.tolist()) == list(range(points.shape[0]))
+
+    def test_cells_never_split(self, points, geometry):
+        # Every cell's points land in exactly one partition.
+        partitions = pseudo_random_partition(points, geometry, 5, seed=0)
+        owners: dict[tuple, int] = {}
+        for p in partitions:
+            for cell_id in p.cell_slices:
+                assert cell_id not in owners, "cell appears in two partitions"
+                owners[cell_id] = p.pid
+
+    def test_cell_slices_consistent(self, points, geometry):
+        partitions = pseudo_random_partition(points, geometry, 4, seed=1)
+        for p in partitions:
+            covered = 0
+            for cell_id, (start, stop) in p.cell_slices.items():
+                ids = geometry.cell_ids(p.points[start:stop])
+                assert np.all(ids == np.array(cell_id))
+                covered += stop - start
+            assert covered == p.num_points
+
+    def test_global_indices_match_points(self, points, geometry):
+        partitions = pseudo_random_partition(points, geometry, 3, seed=2)
+        for p in partitions:
+            np.testing.assert_array_equal(points[p.global_indices], p.points)
+
+    def test_deterministic_given_seed(self, points, geometry):
+        a = pseudo_random_partition(points, geometry, 4, seed=7)
+        b = pseudo_random_partition(points, geometry, 4, seed=7)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa.global_indices, pb.global_indices)
+
+    def test_different_seeds_differ(self, points, geometry):
+        a = pseudo_random_partition(points, geometry, 4, seed=1)
+        b = pseudo_random_partition(points, geometry, 4, seed=2)
+        same = all(
+            np.array_equal(pa.global_indices, pb.global_indices)
+            for pa, pb in zip(a, b)
+        )
+        assert not same
+
+    def test_shuffle_method_balances_cell_counts(self, points, geometry):
+        partitions = pseudo_random_partition(
+            points, geometry, 4, seed=0, method="shuffle"
+        )
+        counts = [p.num_cells for p in partitions]
+        assert max(counts) - min(counts) <= 1
+
+    def test_partition_count_exact(self, points, geometry):
+        partitions = pseudo_random_partition(points, geometry, 7, seed=0)
+        assert len(partitions) == 7
+        assert [p.pid for p in partitions] == list(range(7))
+
+    def test_more_partitions_than_cells(self, geometry):
+        pts = np.array([[0.1, 0.1], [0.11, 0.12]])  # one cell
+        partitions = pseudo_random_partition(pts, geometry, 5, seed=0)
+        non_empty = [p for p in partitions if p.num_points]
+        assert len(non_empty) == 1 and non_empty[0].num_points == 2
+
+    def test_balance_with_many_cells(self, geometry):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 20, (20_000, 2))  # thousands of cells
+        partitions = pseudo_random_partition(pts, geometry, 8, seed=0)
+        sizes = np.array([p.num_points for p in partitions])
+        # Random-key assignment over many cells: sizes within 20% of mean.
+        assert sizes.max() <= 1.2 * sizes.mean()
+        assert sizes.min() >= 0.8 * sizes.mean()
+
+    def test_validation(self, points, geometry):
+        with pytest.raises(ValueError):
+            pseudo_random_partition(points, geometry, 0)
+        with pytest.raises(ValueError):
+            pseudo_random_partition(points, geometry, 2, method="magic")
+        with pytest.raises(ValueError):
+            pseudo_random_partition(np.zeros((4, 3)), geometry, 2)
+
+    def test_partition_helpers(self, points, geometry):
+        [p] = pseudo_random_partition(points, geometry, 1, seed=0)
+        cell_id = next(iter(p.cell_slices))
+        np.testing.assert_array_equal(
+            points[p.cell_global_indices(cell_id)], p.cell_points(cell_id)
+        )
+
+
+class TestTrueRandomPartition:
+    def test_is_a_partition_of_points(self, points, geometry):
+        partitions = true_random_partition(points, geometry, 5, seed=0)
+        indices = np.concatenate([p.global_indices for p in partitions])
+        assert sorted(indices.tolist()) == list(range(points.shape[0]))
+
+    def test_splits_cells_across_partitions(self, geometry):
+        # The defining difference from pseudo random partitioning.
+        pts = np.tile([0.2, 0.2], (100, 1))  # all in one cell
+        partitions = true_random_partition(pts, geometry, 4, seed=0)
+        holders = [p for p in partitions if p.num_points]
+        assert len(holders) == 4
+
+    def test_sizes_nearly_equal(self, points, geometry):
+        partitions = true_random_partition(points, geometry, 7, seed=0)
+        sizes = [p.num_points for p in partitions]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,86 @@
+"""Tests for the per-phase accounting the efficiency figures consume."""
+
+import numpy as np
+import pytest
+
+from repro import RPDBSCAN
+from repro.core.rp_dbscan import (
+    PHASE_CELL_GRAPH,
+    PHASE_DICTIONARY,
+    PHASE_LABEL,
+    PHASE_MERGE,
+    PHASE_PARTITION,
+)
+from repro.engine import Engine, PhaseSchedule
+
+
+@pytest.fixture(scope="module")
+def result(accounting_blobs):
+    engine = Engine("serial")
+    return RPDBSCAN(0.3, 10, num_partitions=6, engine=engine).fit(accounting_blobs)
+
+
+@pytest.fixture(scope="module")
+def accounting_blobs():
+    rng = np.random.default_rng(21)
+    return np.concatenate(
+        [rng.normal([0, 0], 0.12, (500, 2)), rng.normal([3, 0], 0.12, (500, 2))]
+    )
+
+
+class TestCounters:
+    def test_all_phases_timed(self, result):
+        for phase in (
+            PHASE_PARTITION,
+            PHASE_DICTIONARY,
+            PHASE_CELL_GRAPH,
+            PHASE_MERGE,
+            PHASE_LABEL,
+        ):
+            assert result.counters.phase_seconds.get(phase, 0.0) > 0.0, phase
+
+    def test_task_stats_for_mapped_phases(self, result):
+        # Phases I-2, II, III-2 run as engine tasks (one per partition).
+        assert len(result.counters.task_times(PHASE_CELL_GRAPH)) == 6
+        assert len(result.counters.task_times(PHASE_LABEL)) == 6
+        assert 1 <= len(result.counters.task_times(PHASE_DICTIONARY)) <= 6
+
+    def test_phase2_items_equal_points(self, result, accounting_blobs):
+        assert (
+            result.counters.items_processed(PHASE_CELL_GRAPH)
+            == accounting_blobs.shape[0]
+        )
+
+    def test_merge_critical_path_bounded_by_phase_time(self, result):
+        critical = result.merge_stats.critical_path_seconds()
+        total_merge = result.counters.phase_seconds[PHASE_MERGE]
+        assert 0.0 <= critical <= total_merge + 1e-6
+
+    def test_breakdown_ordering_stable(self, result):
+        keys = list(result.phase_breakdown())
+        assert keys == [
+            PHASE_PARTITION,
+            PHASE_DICTIONARY,
+            PHASE_CELL_GRAPH,
+            PHASE_MERGE,
+            PHASE_LABEL,
+        ]
+
+
+class TestScheduleFromResult:
+    def test_phase_schedule_composes(self, result):
+        counters = result.counters
+        schedule = (
+            PhaseSchedule()
+            .add_divisible(counters.phase_seconds[PHASE_PARTITION])
+            .add_parallel(counters.task_times(PHASE_DICTIONARY))
+            .add_parallel(counters.task_times(PHASE_CELL_GRAPH))
+            .add_constant(result.merge_stats.critical_path_seconds())
+            .add_parallel(counters.task_times(PHASE_LABEL))
+        )
+        one = schedule.elapsed(1)
+        many = schedule.elapsed(64)
+        assert many <= one
+        curve = schedule.speedups([1, 2, 4])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[4] >= curve[2] >= curve[1] - 1e-9

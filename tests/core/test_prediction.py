@@ -1,0 +1,80 @@
+"""Unit tests for ClusterModel.predict."""
+
+import numpy as np
+import pytest
+
+from repro import RPDBSCAN
+from repro.core.prediction import ClusterModel
+
+
+@pytest.fixture(scope="module")
+def fitted(two_blobs_for_predict):
+    pts = two_blobs_for_predict
+    result = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4).fit(pts)
+    model = ClusterModel(pts, result.labels, result.core_mask, eps=0.3)
+    return pts, result, model
+
+
+@pytest.fixture(scope="module")
+def two_blobs_for_predict():
+    rng = np.random.default_rng(42)
+    return np.concatenate(
+        [rng.normal([0, 0], 0.1, (300, 2)), rng.normal([3, 0], 0.1, (300, 2))]
+    )
+
+
+class TestPredict:
+    def test_training_core_points_keep_labels(self, fitted):
+        pts, result, model = fitted
+        core = result.core_mask
+        predicted = model.predict(pts[core])
+        np.testing.assert_array_equal(predicted, result.labels[core])
+
+    def test_points_near_clusters_assigned(self, fitted):
+        _, _, model = fitted
+        queries = np.array([[0.05, 0.05], [3.05, -0.02]])
+        labels = model.predict(queries)
+        assert labels[0] != labels[1]
+        assert (labels >= 0).all()
+
+    def test_far_points_are_noise(self, fitted):
+        _, _, model = fitted
+        assert model.predict(np.array([[50.0, 50.0]]))[0] == -1
+
+    def test_point_just_inside_and_outside_eps(self, fitted):
+        pts, result, model = fitted
+        core_point = pts[result.core_mask][0]
+        label = result.labels[result.core_mask][0]
+        inside = core_point + np.array([0.29, 0.0])
+        outside = core_point + np.array([10.0, 0.0])
+        got = model.predict(np.stack([inside, outside]))
+        assert got[0] == label
+        assert got[1] == -1
+
+    def test_empty_query(self, fitted):
+        _, _, model = fitted
+        assert model.predict(np.empty((0, 2))).shape == (0,)
+
+    def test_no_core_points(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        model = ClusterModel(
+            pts, np.array([-1, -1]), np.array([False, False]), eps=1.0
+        )
+        assert model.predict(pts).tolist() == [-1, -1]
+        assert model.n_core_points == 0
+
+    def test_validation(self, fitted):
+        pts, result, model = fitted
+        with pytest.raises(ValueError):
+            ClusterModel(pts, result.labels[:10], result.core_mask, eps=0.3)
+        with pytest.raises(ValueError):
+            ClusterModel(pts, result.labels, result.core_mask, eps=-1.0)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((3, 5)))  # wrong dimension
+
+    def test_core_noise_conflict_rejected(self):
+        pts = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            ClusterModel(
+                pts, np.array([-1, 0]), np.array([True, False]), eps=1.0
+            )

@@ -1,0 +1,147 @@
+"""Unit tests for the RPDBSCAN orchestrator (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rp_dbscan import PHASES, RPDBSCAN
+from repro.engine import Engine
+
+
+class TestBasicClustering:
+    def test_two_blobs(self, two_blobs):
+        result = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4).fit(two_blobs)
+        assert result.n_clusters == 2
+        assert result.noise_count == 0
+
+    def test_blobs_with_noise(self, blobs_with_noise):
+        result = RPDBSCAN(eps=0.25, min_pts=10, num_partitions=4).fit(
+            blobs_with_noise
+        )
+        assert result.n_clusters == 3
+        assert 0 < result.noise_count < 80 + 10
+
+    def test_three_dimensional(self, three_d_blobs):
+        result = RPDBSCAN(eps=0.5, min_pts=10, num_partitions=4).fit(three_d_blobs)
+        assert result.n_clusters == 2
+
+    def test_all_noise(self, uniform_square):
+        result = RPDBSCAN(eps=0.01, min_pts=50).fit(uniform_square)
+        assert result.n_clusters == 0
+        assert result.noise_count == uniform_square.shape[0]
+
+    def test_single_cluster_min_pts_one(self):
+        pts = np.array([[0.0, 0.0], [0.05, 0.0], [0.0, 0.05]])
+        result = RPDBSCAN(eps=0.2, min_pts=1).fit(pts)
+        assert result.n_clusters == 1
+        assert result.noise_count == 0
+
+    def test_fit_predict(self, two_blobs):
+        labels = RPDBSCAN(eps=0.3, min_pts=10).fit_predict(two_blobs)
+        assert labels.shape == (two_blobs.shape[0],)
+
+    def test_empty_input(self):
+        result = RPDBSCAN(eps=0.3, min_pts=10).fit(np.empty((0, 2)))
+        assert result.n_clusters == 0
+        assert result.labels.shape == (0,)
+
+
+class TestDeterminism:
+    def test_same_seed_same_labels(self, blobs_with_noise):
+        a = RPDBSCAN(eps=0.25, min_pts=10, seed=5).fit(blobs_with_noise)
+        b = RPDBSCAN(eps=0.25, min_pts=10, seed=5).fit(blobs_with_noise)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_partition_count_invariance(self, two_blobs):
+        # The clustering must not depend on k (Corollary 3.6's spirit).
+        results = [
+            RPDBSCAN(eps=0.3, min_pts=10, num_partitions=k).fit(two_blobs)
+            for k in (1, 2, 4, 8)
+        ]
+        for r in results[1:]:
+            assert r.n_clusters == results[0].n_clusters
+            assert r.noise_count == results[0].noise_count
+
+    def test_seed_invariance_of_clustering(self, blobs_with_noise):
+        a = RPDBSCAN(eps=0.25, min_pts=10, seed=1).fit(blobs_with_noise)
+        b = RPDBSCAN(eps=0.25, min_pts=10, seed=99).fit(blobs_with_noise)
+        assert a.n_clusters == b.n_clusters
+        assert a.noise_count == b.noise_count
+        np.testing.assert_array_equal(a.core_mask, b.core_mask)
+
+
+class TestResultObject:
+    def test_phase_breakdown_complete(self, two_blobs):
+        result = RPDBSCAN(eps=0.3, min_pts=10).fit(two_blobs)
+        breakdown = result.phase_breakdown()
+        assert list(breakdown) == list(PHASES)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_points_processed_equals_n(self, two_blobs):
+        # Fig 14's invariant: RP-DBSCAN never duplicates a point.
+        result = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4).fit(two_blobs)
+        assert result.points_processed == two_blobs.shape[0]
+
+    def test_partition_sizes_sum_to_n(self, two_blobs):
+        result = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4).fit(two_blobs)
+        assert sum(result.partition_sizes) == two_blobs.shape[0]
+
+    def test_merge_stats_present(self, two_blobs):
+        result = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4).fit(two_blobs)
+        assert len(result.merge_stats.edges_per_round) >= 1
+
+    def test_dictionary_model(self, two_blobs):
+        result = RPDBSCAN(eps=0.3, min_pts=10).fit(two_blobs)
+        assert result.dictionary_model.total_bits > 0
+
+    def test_core_mask_core_points_labeled(self, blobs_with_noise):
+        result = RPDBSCAN(eps=0.25, min_pts=10).fit(blobs_with_noise)
+        assert np.all(result.labels[result.core_mask] >= 0)
+
+    def test_global_graph_exposed(self, two_blobs):
+        result = RPDBSCAN(eps=0.3, min_pts=10).fit(two_blobs)
+        assert result.global_graph is not None
+        assert result.global_graph.is_global()
+
+
+class TestConfigurations:
+    def test_process_engine(self, two_blobs):
+        engine = Engine("process", num_workers=2)
+        result = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4, engine=engine).fit(
+            two_blobs
+        )
+        serial = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4).fit(two_blobs)
+        np.testing.assert_array_equal(result.labels, serial.labels)
+
+    def test_kdtree_strategy(self, two_blobs):
+        result = RPDBSCAN(
+            eps=0.3, min_pts=10, candidate_strategy="kdtree"
+        ).fit(two_blobs)
+        serial = RPDBSCAN(eps=0.3, min_pts=10).fit(two_blobs)
+        np.testing.assert_array_equal(result.labels, serial.labels)
+
+    def test_defragmented_dictionary(self, two_blobs):
+        result = RPDBSCAN(
+            eps=0.3, min_pts=10, defragment_capacity=64
+        ).fit(two_blobs)
+        plain = RPDBSCAN(eps=0.3, min_pts=10).fit(two_blobs)
+        np.testing.assert_array_equal(result.labels, plain.labels)
+        assert result.subdict_stats is not None
+        num_subdicts, avg_consulted = result.subdict_stats
+        assert num_subdicts > 1
+        assert avg_consulted >= 1.0
+
+    def test_shuffle_partitioning(self, two_blobs):
+        result = RPDBSCAN(
+            eps=0.3, min_pts=10, partition_method="shuffle"
+        ).fit(two_blobs)
+        assert result.n_clusters == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RPDBSCAN(eps=0.0, min_pts=10)
+        with pytest.raises(ValueError):
+            RPDBSCAN(eps=1.0, min_pts=0)
+        with pytest.raises(ValueError):
+            RPDBSCAN(eps=1.0, min_pts=5, num_partitions=0)
+        with pytest.raises(ValueError):
+            RPDBSCAN(eps=1.0, min_pts=5).fit(np.zeros(7))

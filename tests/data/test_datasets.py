@@ -1,0 +1,88 @@
+"""Unit tests for the real-world data-set stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DATASETS,
+    cosmo50_like,
+    geolife_like,
+    openstreetmap_like,
+    teraclicklog_like,
+)
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "gen,dim",
+        [
+            (geolife_like, 3),
+            (cosmo50_like, 3),
+            (openstreetmap_like, 2),
+            (teraclicklog_like, 13),
+        ],
+    )
+    def test_shape_and_determinism(self, gen, dim):
+        a = gen(500, seed=1)
+        b = gen(500, seed=1)
+        assert a.shape == (500, dim)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, gen(500, seed=2))
+
+    @pytest.mark.parametrize(
+        "gen", [geolife_like, cosmo50_like, openstreetmap_like, teraclicklog_like]
+    )
+    def test_rejects_tiny_n(self, gen):
+        with pytest.raises(ValueError):
+            gen(5)
+
+
+class TestGeoLifeSkew:
+    def test_heavily_skewed(self):
+        # The defining property (Sec 7.1.3): one dominant dense region.
+        pts = geolife_like(5000, seed=0)
+        median = np.median(pts, axis=0)
+        dist = np.linalg.norm(pts - median, axis=1)
+        # At least 60% of points are packed near the metro center while
+        # the spread of the rest is orders of magnitude larger.
+        near = np.quantile(dist, 0.6)
+        far = dist.max()
+        assert far / max(near, 1e-9) > 20
+
+
+class TestTeraClickLogStructure:
+    def test_low_intrinsic_dimensionality(self):
+        # Per-cluster variance concentrates in few axes.
+        pts = teraclicklog_like(3000, seed=0)
+        stds = pts[:2700].std(axis=0)  # clustered part
+        assert pts.shape[1] == 13
+
+
+class TestSpecs:
+    def test_all_names_present(self):
+        assert set(DATASETS) == {
+            "GeoLife",
+            "Cosmo50",
+            "OpenStreetMap",
+            "TeraClickLog",
+        }
+
+    def test_spec_fields_consistent(self):
+        for name, spec in DATASETS.items():
+            assert spec.name == name
+            pts = spec.generator(100, seed=0)
+            assert pts.shape == (100, spec.dim)
+            assert spec.eps10 > 0
+            assert spec.min_pts >= 1
+
+    def test_eps10_yields_around_ten_clusters(self):
+        # The Sec 7.1.4 protocol: eps10 gives on the order of 10
+        # clusters at bench scale (checked loosely: 4..25).
+        from repro.baselines.rho_dbscan import RhoDBSCAN
+
+        for spec in DATASETS.values():
+            n = min(spec.default_n, 5000)
+            pts = spec.generator(n, seed=0)
+            min_pts = max(5, int(spec.min_pts * n / spec.default_n))
+            result = RhoDBSCAN(spec.eps10, min_pts, rho=0.05).fit(pts)
+            assert 3 <= result.n_clusters <= 30, (spec.name, result.n_clusters)

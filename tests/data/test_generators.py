@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    blobs,
+    chameleon_like,
+    gaussian_mixture,
+    moons,
+    ring,
+    spiral,
+)
+
+
+class TestMoons:
+    def test_shape_and_determinism(self):
+        a = moons(1000, seed=0)
+        b = moons(1000, seed=0)
+        assert a.shape == (1000, 2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_two_dense_groups(self):
+        from repro.baselines.dbscan import ExactDBSCAN
+
+        pts = moons(2000, noise=0.05, seed=1)
+        result = ExactDBSCAN(0.12, 8).fit(pts)
+        assert result.n_clusters == 2
+
+    def test_odd_n(self):
+        assert moons(1001, seed=0).shape == (1001, 2)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            moons(1)
+
+
+class TestBlobs:
+    def test_shape(self):
+        assert blobs(500, centers=4, dim=3, seed=0).shape == (500, 3)
+
+    def test_cluster_count(self):
+        from repro.baselines.dbscan import ExactDBSCAN
+
+        pts = blobs(3000, centers=3, std=0.25, spread=10.0, seed=3)
+        result = ExactDBSCAN(0.35, 10).fit(pts)
+        assert result.n_clusters == 3
+
+    def test_rejects_bad_centers(self):
+        with pytest.raises(ValueError):
+            blobs(100, centers=0)
+
+
+class TestShapes:
+    def test_ring_radius(self):
+        pts = ring(1000, radius=2.0, noise=0.01, seed=0)
+        radii = np.linalg.norm(pts, axis=1)
+        assert abs(radii.mean() - 2.0) < 0.05
+
+    def test_spiral_bounded(self):
+        pts = spiral(500, scale=1.0, seed=0)
+        assert np.linalg.norm(pts, axis=1).max() < 1.5
+
+    def test_chameleon_mix(self):
+        pts = chameleon_like(5000, seed=0)
+        assert pts.shape == (5000, 2)
+        # Heterogeneous shapes spread across the canvas.
+        assert np.ptp(pts[:, 0]) > 8 and np.ptp(pts[:, 1]) > 7
+
+    def test_chameleon_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            chameleon_like(10)
+
+
+class TestGaussianMixture:
+    def test_shape_and_range(self):
+        pts = gaussian_mixture(2000, dim=4, alpha=1.0, seed=0)
+        assert pts.shape == (2000, 4)
+        # Means live in [0, 100]; with alpha=1 the points hug them.
+        assert pts.min() > -10 and pts.max() < 110
+
+    def test_alpha_controls_spread(self):
+        # Appendix B.1: higher alpha concentrates points around means.
+        loose = gaussian_mixture(5000, dim=3, alpha=1 / 8, components=1, seed=1)
+        tight = gaussian_mixture(5000, dim=3, alpha=8.0, components=1, seed=1)
+        assert tight.std(axis=0).mean() < loose.std(axis=0).mean()
+
+    def test_std_matches_inverse_sqrt_alpha(self):
+        alpha = 4.0
+        pts = gaussian_mixture(20000, dim=2, alpha=alpha, components=1, seed=2)
+        assert pts.std(axis=0).mean() == pytest.approx(1 / np.sqrt(alpha), rel=0.05)
+
+    def test_component_count(self):
+        pts = gaussian_mixture(1000, dim=2, components=10, alpha=8.0, seed=3)
+        assert pts.shape == (1000, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(100, components=0)
+        with pytest.raises(ValueError):
+            gaussian_mixture(100, alpha=0.0)

@@ -1,0 +1,52 @@
+"""Unit tests for data I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_labels, load_points, save_labels, save_points
+
+
+class TestPointsRoundtrip:
+    def test_npy(self, tmp_path):
+        pts = np.random.default_rng(0).normal(size=(50, 3))
+        path = tmp_path / "pts.npy"
+        save_points(path, pts)
+        np.testing.assert_array_equal(load_points(path), pts)
+
+    def test_csv(self, tmp_path):
+        pts = np.random.default_rng(1).normal(size=(20, 2))
+        path = tmp_path / "pts.csv"
+        save_points(path, pts)
+        np.testing.assert_allclose(load_points(path), pts)
+
+    def test_single_row_csv(self, tmp_path):
+        pts = np.array([[1.0, 2.0, 3.0]])
+        path = tmp_path / "one.csv"
+        save_points(path, pts)
+        assert load_points(path).shape == (1, 3)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points(tmp_path / "nope.npy")
+
+    def test_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_points(tmp_path / "bad.npy", np.zeros(5))
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "pts.npy"
+        save_points(path, np.zeros((2, 2)))
+        assert path.exists()
+
+
+class TestLabelsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        labels = np.array([0, 1, -1, 2], dtype=np.int64)
+        path = tmp_path / "labels.txt"
+        save_labels(path, labels)
+        np.testing.assert_array_equal(load_labels(path), labels)
+
+    def test_single_label(self, tmp_path):
+        path = tmp_path / "one.txt"
+        save_labels(path, np.array([5]))
+        assert load_labels(path).tolist() == [5]

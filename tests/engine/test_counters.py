@@ -1,0 +1,82 @@
+"""Unit tests for repro.engine.counters."""
+
+import time
+
+import pytest
+
+from repro.engine.counters import Counters, TaskStats
+
+
+class TestTaskRecording:
+    def test_record_and_read(self):
+        counters = Counters()
+        counters.record_task("II", TaskStats(0, 0.5, items=100))
+        counters.record_task("II", TaskStats(1, 1.0, items=200))
+        assert counters.task_times("II") == [0.5, 1.0]
+        assert counters.items_processed("II") == 300
+
+    def test_unknown_phase_is_empty(self):
+        counters = Counters()
+        assert counters.task_times("nope") == []
+        assert counters.items_processed("nope") == 0
+
+
+class TestLoadImbalance:
+    def test_perfect_balance(self):
+        counters = Counters()
+        for i in range(4):
+            counters.record_task("II", TaskStats(i, 2.0))
+        assert counters.load_imbalance("II") == 1.0
+
+    def test_ratio(self):
+        counters = Counters()
+        counters.record_task("II", TaskStats(0, 1.0))
+        counters.record_task("II", TaskStats(1, 3.0))
+        assert counters.load_imbalance("II") == pytest.approx(3.0)
+
+    def test_single_task_is_balanced(self):
+        counters = Counters()
+        counters.record_task("II", TaskStats(0, 5.0))
+        assert counters.load_imbalance("II") == 1.0
+
+    def test_zero_duration_guard(self):
+        counters = Counters()
+        counters.record_task("II", TaskStats(0, 0.0))
+        counters.record_task("II", TaskStats(1, 1.0))
+        assert counters.load_imbalance("II") < float("inf")
+
+
+class TestPhaseTimes:
+    def test_accumulation(self):
+        counters = Counters()
+        counters.add_phase_time("I", 1.0)
+        counters.add_phase_time("I", 0.5)
+        counters.add_phase_time("II", 2.5)
+        assert counters.phase_seconds["I"] == pytest.approx(1.5)
+        assert counters.total_seconds() == pytest.approx(4.0)
+
+    def test_timed_phase_context(self):
+        counters = Counters()
+        with counters.timed_phase("sleepy"):
+            time.sleep(0.01)
+        assert counters.phase_seconds["sleepy"] >= 0.01
+
+    def test_timed_phase_records_on_exception(self):
+        counters = Counters()
+        with pytest.raises(RuntimeError):
+            with counters.timed_phase("boom"):
+                raise RuntimeError()
+        assert "boom" in counters.phase_seconds
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        counters = Counters()
+        counters.add_phase_time("a", 1.0)
+        counters.add_phase_time("b", 3.0)
+        breakdown = counters.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["b"] == pytest.approx(0.75)
+
+    def test_empty_counters(self):
+        assert Counters().breakdown() == {}

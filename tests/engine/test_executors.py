@@ -1,0 +1,96 @@
+"""Unit tests for repro.engine.executors."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executors import Engine
+
+
+def square(x):
+    return x * x
+
+
+def add_broadcast(x, b):
+    return x + b
+
+
+def touch_items(task):
+    return len(task)
+
+
+class TestSerialEngine:
+    def test_results_in_task_order(self):
+        engine = Engine("serial")
+        assert engine.map_tasks(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_broadcast_passed(self):
+        engine = Engine("serial")
+        assert engine.map_tasks(add_broadcast, [1, 2], broadcast=10) == [11, 12]
+
+    def test_task_stats_recorded(self):
+        engine = Engine("serial")
+        engine.map_tasks(square, [1, 2, 3], phase="p")
+        stats = engine.counters.phase_tasks["p"]
+        assert [s.task_id for s in stats] == [0, 1, 2]
+        assert all(s.wall_time_s >= 0 for s in stats)
+
+    def test_item_counter(self):
+        engine = Engine("serial")
+        engine.map_tasks(touch_items, [[1, 2], [3]], phase="p", item_counter=len)
+        assert engine.counters.items_processed("p") == 3
+
+    def test_phase_time_recorded(self):
+        engine = Engine("serial")
+        engine.map_tasks(square, [1], phase="ph")
+        assert "ph" in engine.counters.phase_seconds
+
+    def test_empty_task_list(self):
+        engine = Engine("serial")
+        assert engine.map_tasks(square, []) == []
+
+
+class TestProcessEngine:
+    def test_results_match_serial(self):
+        tasks = list(range(8))
+        serial = Engine("serial").map_tasks(square, tasks)
+        parallel = Engine("process", num_workers=2).map_tasks(square, tasks)
+        assert serial == parallel
+
+    def test_broadcast_shipped_once_per_worker(self):
+        engine = Engine("process", num_workers=2)
+        big = np.arange(1000)
+        out = engine.map_tasks(add_broadcast, [1, 2, 3, 4], broadcast=big)
+        for i, result in enumerate(out):
+            np.testing.assert_array_equal(result, big + i + 1)
+
+    def test_single_task_runs_inline(self):
+        # One task short-circuits to the serial path (no pool overhead).
+        engine = Engine("process", num_workers=4)
+        assert engine.map_tasks(square, [3]) == [9]
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            Engine("threads")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            Engine("serial", num_workers=0)
+
+
+def boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestErrorPropagation:
+    def test_serial_task_error_propagates(self):
+        engine = Engine("serial")
+        with pytest.raises(RuntimeError, match="task 1 failed"):
+            engine.map_tasks(boom, [1])
+
+    def test_phase_time_still_recorded_on_error(self):
+        engine = Engine("serial")
+        with pytest.raises(RuntimeError):
+            engine.map_tasks(boom, [1], phase="doomed")
+        assert "doomed" in engine.counters.phase_seconds

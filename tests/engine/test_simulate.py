@@ -1,0 +1,114 @@
+"""Unit tests for repro.engine.simulate."""
+
+import pytest
+
+from repro.engine.simulate import makespan, speedup_curve
+
+
+class TestMakespan:
+    def test_one_worker_is_sum(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_workers_is_max(self):
+        assert makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+        assert makespan([1.0, 2.0, 3.0], 100) == pytest.approx(3.0)
+
+    def test_greedy_arrival_order(self):
+        # Two workers, arrival order: [3, 3, 1, 1] -> 3+1 each = 4.
+        assert makespan([3.0, 3.0, 1.0, 1.0], 2) == pytest.approx(4.0)
+
+    def test_lpt_sorts_descending(self):
+        # LPT on [1, 1, 3, 3] with 2 workers pairs 3+1 on each: 4.
+        assert makespan([1.0, 1.0, 3.0, 3.0], 2, policy="lpt") == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_monotone_in_workers(self):
+        durations = [0.5, 1.5, 2.5, 1.0, 3.0, 0.2]
+        times = [makespan(durations, w) for w in (1, 2, 3, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+    def test_never_below_slowest_task(self):
+        durations = [0.1] * 50 + [5.0]
+        assert makespan(durations, 100) >= 5.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            makespan([-1.0], 2)
+        with pytest.raises(ValueError):
+            makespan([1.0], 2, policy="random")
+
+
+class TestSpeedupCurve:
+    def test_baseline_is_one(self):
+        curve = speedup_curve([1.0] * 40, [5, 10, 20, 40])
+        assert curve[5] == pytest.approx(1.0)
+
+    def test_balanced_tasks_scale_linearly(self):
+        curve = speedup_curve([1.0] * 40, [5, 10, 20, 40])
+        assert curve[40] == pytest.approx(8.0)
+
+    def test_imbalanced_tasks_plateau(self):
+        # One giant task bounds the makespan: speed-up flattens.
+        durations = [10.0] + [0.1] * 39
+        curve = speedup_curve(durations, [5, 10, 20, 40])
+        assert curve[40] < 2.0
+
+    def test_serial_overhead_caps_speedup(self):
+        # Amdahl: with overhead equal to the parallel time at 5 workers,
+        # speed-up can never reach 2x no matter the worker count.
+        durations = [1.0] * 40
+        curve = speedup_curve(durations, [5, 40], serial_overhead_s=8.0)
+        assert curve[40] < 2.0
+
+    def test_empty_worker_list(self):
+        assert speedup_curve([1.0], []) == {}
+
+
+class TestPhaseSchedule:
+    def _schedule(self):
+        from repro.engine.simulate import PhaseSchedule
+
+        return (
+            PhaseSchedule()
+            .add_divisible(10.0)
+            .add_parallel([1.0] * 8)
+            .add_constant(2.0)
+        )
+
+    def test_elapsed_one_worker(self):
+        # 10/1 + 8*1 + 2 = 20
+        assert self._schedule().elapsed(1) == pytest.approx(20.0)
+
+    def test_elapsed_many_workers(self):
+        # 10/8 + 1 + 2 = 4.25
+        assert self._schedule().elapsed(8) == pytest.approx(4.25)
+
+    def test_constant_floor(self):
+        from repro.engine.simulate import PhaseSchedule
+
+        schedule = PhaseSchedule().add_constant(5.0)
+        assert schedule.elapsed(1) == schedule.elapsed(1000) == 5.0
+
+    def test_speedups_baseline_one(self):
+        curve = self._schedule().speedups([1, 2, 8])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[2] > 1.0
+        assert curve[8] > curve[2]
+
+    def test_speedup_bounded_by_constant_fraction(self):
+        # Amdahl bound: constant is 10% of the 1-worker time -> <= 10x.
+        curve = self._schedule().speedups([1, 10_000])
+        assert curve[10_000] < 10.0
+
+    def test_empty_schedule(self):
+        from repro.engine.simulate import PhaseSchedule
+
+        assert PhaseSchedule().elapsed(4) == 0.0
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            self._schedule().elapsed(0)

@@ -1,0 +1,60 @@
+"""Unit tests for repro.graph.spanning_forest."""
+
+from repro.graph.spanning_forest import connected_components, spanning_forest
+
+
+class TestSpanningForest:
+    def test_tree_input_keeps_all_edges(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        kept, uf = spanning_forest(edges)
+        assert kept == edges
+        assert uf.set_count == 1
+
+    def test_cycle_edges_removed(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        kept, _ = spanning_forest(edges)
+        assert len(kept) == 2
+
+    def test_forest_size_invariant(self):
+        # |kept| == |vertices| - |components| for any input graph.
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 2)]
+        kept, uf = spanning_forest(edges)
+        assert len(kept) == len(uf) - uf.set_count
+
+    def test_connectivity_preserved(self):
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]
+        kept, _ = spanning_forest(edges)
+        _, uf_reduced = spanning_forest(kept)
+        _, uf_full = spanning_forest(edges)
+        for a in range(4):
+            for b in range(4):
+                assert uf_reduced.connected(a, b) == uf_full.connected(a, b)
+
+    def test_empty(self):
+        kept, uf = spanning_forest([])
+        assert kept == []
+        assert uf.set_count == 0
+
+    def test_self_loop_never_kept(self):
+        kept, _ = spanning_forest([(1, 1), (1, 2)])
+        assert (1, 1) not in kept
+
+
+class TestConnectedComponents:
+    def test_isolated_nodes_get_own_component(self):
+        labels = connected_components([0, 1, 2], [(0, 1)])
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]
+
+    def test_labels_dense(self):
+        labels = connected_components(range(6), [(0, 1), (2, 3)])
+        assert set(labels.values()) == {0, 1, 2, 3}
+
+    def test_edges_can_introduce_nodes(self):
+        labels = connected_components([], [(5, 6)])
+        assert labels[5] == labels[6]
+
+    def test_deterministic(self):
+        a = connected_components(range(10), [(0, 5), (5, 9), (2, 3)])
+        b = connected_components(range(10), [(0, 5), (5, 9), (2, 3)])
+        assert a == b

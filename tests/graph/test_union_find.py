@@ -1,0 +1,125 @@
+"""Unit tests for repro.graph.union_find."""
+
+import pytest
+
+from repro.graph.union_find import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert len(uf) == 3
+        assert uf.set_count == 3
+        assert not uf.connected("a", "b")
+
+    def test_union_returns_whether_merged(self):
+        uf = UnionFind()
+        assert uf.union(1, 2) is True
+        assert uf.union(2, 1) is False
+
+    def test_lazy_add_via_find(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        uf.union(4, 5)
+        assert uf.connected(1, 3)
+        assert not uf.connected(1, 4)
+
+    def test_set_count_decreases(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.set_count == 3
+        uf.union(1, 3)
+        assert uf.set_count == 2
+
+    def test_tuple_items(self):
+        uf = UnionFind()
+        uf.union((0, 0), (0, 1))
+        assert uf.connected((0, 1), (0, 0))
+
+
+class TestGroups:
+    def test_groups_partition_items(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        groups = uf.groups()
+        sizes = sorted(len(g) for g in groups.values())
+        assert sizes == [1, 2, 3]
+        members = sorted(x for g in groups.values() for x in g)
+        assert members == list(range(6))
+
+    def test_component_labels_dense_and_deterministic(self):
+        def build():
+            uf = UnionFind()
+            uf.union("a", "b")
+            uf.union("c", "d")
+            uf.add("e")
+            return uf.component_labels()
+
+        labels1 = build()
+        labels2 = build()
+        assert labels1 == labels2
+        assert set(labels1.values()) == {0, 1, 2}
+        assert labels1["a"] == labels1["b"]
+        assert labels1["c"] == labels1["d"]
+        assert labels1["a"] != labels1["c"]
+
+
+class TestScale:
+    def test_long_chain(self):
+        uf = UnionFind()
+        n = 10_000
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.set_count == 1
+        assert uf.connected(0, n - 1)
+
+    @pytest.mark.parametrize("n", [1, 2, 100])
+    def test_all_singletons(self, n):
+        uf = UnionFind(range(n))
+        assert uf.set_count == n
+
+
+class TestCopyAndMerge:
+    def test_copy_is_independent(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        clone = uf.copy()
+        clone.union(2, 3)
+        assert clone.connected(1, 3)
+        assert not uf.connected(1, 3)
+
+    def test_copy_preserves_connectivity(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("c", "d")
+        clone = uf.copy()
+        assert clone.connected("a", "b")
+        assert not clone.connected("a", "c")
+        assert clone.set_count == uf.set_count
+
+    def test_merge_from(self):
+        a = UnionFind()
+        a.union(1, 2)
+        b = UnionFind()
+        b.union(2, 3)
+        b.union(4, 5)
+        a.merge_from(b)
+        assert a.connected(1, 3)
+        assert a.connected(4, 5)
+        assert not a.connected(1, 4)
+        # b unchanged: it never saw item 1
+        assert 1 not in b
+
+    def test_merge_from_empty(self):
+        a = UnionFind([1, 2])
+        a.merge_from(UnionFind())
+        assert a.set_count == 2

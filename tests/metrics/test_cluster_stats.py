@@ -1,0 +1,73 @@
+"""Unit tests for repro.metrics.cluster_stats."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.cluster_stats import (
+    ClusteringSummary,
+    cluster_sizes,
+    summarize_clustering,
+)
+
+
+class TestClusterSizes:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, -1, 1, 1])
+        assert cluster_sizes(labels) == {0: 2, 1: 3}
+
+    def test_empty(self):
+        assert cluster_sizes(np.array([])) == {}
+
+    def test_all_noise(self):
+        assert cluster_sizes(np.array([-1, -1])) == {}
+
+
+class TestSummarize:
+    def test_basic(self):
+        labels = np.array([0, 0, 0, 1, 1, -1])
+        summary = summarize_clustering(labels)
+        assert summary.n_points == 6
+        assert summary.n_clusters == 2
+        assert summary.noise == 1
+        assert summary.largest == 3
+        assert summary.smallest == 2
+        assert summary.median_size == 2.5
+
+    def test_noise_fraction(self):
+        summary = summarize_clustering(np.array([0, -1, -1, -1]))
+        assert summary.noise_fraction == pytest.approx(0.75)
+
+    def test_dominance_skewed(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        assert summarize_clustering(labels).dominance == pytest.approx(0.9)
+
+    def test_dominance_all_noise(self):
+        assert summarize_clustering(np.array([-1, -1])).dominance == 0.0
+
+    def test_empty(self):
+        summary = summarize_clustering(np.array([]))
+        assert summary.n_points == 0
+        assert summary.noise_fraction == 0.0
+
+    def test_describe_mentions_counts(self):
+        text = summarize_clustering(np.array([0, 0, 1, -1])).describe()
+        assert "2 clusters" in text and "4 points" in text
+
+
+class TestStackedBars:
+    def test_render(self):
+        from repro.bench.reporting import render_stacked_bars
+
+        out = render_stacked_bars(
+            {"a": {"x": 0.5, "y": 0.5}, "b": {"x": 1.0}}, width=10
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("legend:")
+        assert "#####" in lines[1]
+        assert "##########" in lines[2]
+
+    def test_empty_rows(self):
+        from repro.bench.reporting import render_stacked_bars
+
+        out = render_stacked_bars({})
+        assert out.startswith("legend:")

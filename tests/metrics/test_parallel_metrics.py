@@ -1,0 +1,46 @@
+"""Unit tests for the parallel-efficiency metrics."""
+
+import pytest
+
+from repro.metrics.parallel_metrics import (
+    duplication_ratio,
+    load_imbalance,
+    normalize_breakdown,
+)
+
+
+class TestLoadImbalance:
+    def test_perfect(self):
+        assert load_imbalance([2.0, 2.0, 2.0]) == 1.0
+
+    def test_ratio(self):
+        assert load_imbalance([1.0, 5.0]) == 5.0
+
+    def test_short_input(self):
+        assert load_imbalance([]) == 1.0
+        assert load_imbalance([3.0]) == 1.0
+
+    def test_zero_guard(self):
+        assert load_imbalance([0.0, 1.0]) < float("inf")
+
+
+class TestDuplication:
+    def test_no_duplication(self):
+        assert duplication_ratio([50, 50], 100) == 1.0
+
+    def test_overlap(self):
+        assert duplication_ratio([70, 70], 100) == pytest.approx(1.4)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            duplication_ratio([1], 0)
+
+
+class TestBreakdown:
+    def test_normalizes(self):
+        out = normalize_breakdown({"a": 1.0, "b": 3.0})
+        assert out == {"a": 0.25, "b": 0.75}
+
+    def test_zero_total(self):
+        out = normalize_breakdown({"a": 0.0})
+        assert out == {"a": 0.0}

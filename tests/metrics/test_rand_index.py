@@ -1,0 +1,102 @@
+"""Unit tests for the Rand index / adjusted Rand index."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.rand_index import adjusted_rand_index, contingency_table, rand_index
+
+
+class TestRandIndex:
+    def test_identical_clusterings(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert rand_index(labels, labels) == 1.0
+
+    def test_renamed_clusters_identical(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([7, 7, 3, 3])
+        assert rand_index(a, b) == 1.0
+
+    def test_complete_disagreement(self):
+        a = np.array([0, 0, 0, 0])
+        b = np.array([0, 1, 2, 3])
+        # Agreeing pairs: none same-in-both, none diff-in-both... all 6
+        # pairs are same-in-a, diff-in-b -> RI = 0.
+        assert rand_index(a, b, noise_as_singletons=False) == 0.0
+
+    def test_known_value(self):
+        # Classic textbook example.
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        # 15 pairs; 2 same-in-both + 8 different-in-both = 10 agreements.
+        assert rand_index(a, b, noise_as_singletons=False) == pytest.approx(10 / 15)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 100)
+        b = rng.integers(0, 3, 100)
+        assert rand_index(a, b) == pytest.approx(rand_index(b, a))
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(-1, 3, 50)
+            b = rng.integers(-1, 3, 50)
+            assert 0.0 <= rand_index(a, b) <= 1.0
+
+    def test_empty_and_singleton(self):
+        assert rand_index(np.array([]), np.array([])) == 1.0
+        assert rand_index(np.array([0]), np.array([5])) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rand_index(np.array([0, 1]), np.array([0]))
+
+
+class TestNoiseHandling:
+    def test_noise_as_singletons_distinguishes(self):
+        # Same clusters but different noise: singletons mode penalizes.
+        a = np.array([0, 0, 1, 1, -1, -1])
+        b = np.array([0, 0, 1, 1, -1, 0])
+        assert rand_index(a, b) < 1.0
+
+    def test_noise_as_shared_cluster(self):
+        a = np.array([-1, -1, 0, 0])
+        b = np.array([-1, -1, 0, 0])
+        assert rand_index(a, b, noise_as_singletons=False) == 1.0
+
+    def test_two_noise_points_not_a_pair(self):
+        # In singleton mode two noise points count as "different cluster
+        # in both" — an agreement.
+        a = np.array([-1, -1])
+        b = np.array([-1, -1])
+        assert rand_index(a, b) == 1.0
+
+
+class TestAdjustedRandIndex:
+    def test_identical_is_one(self):
+        labels = np.array([0, 1, 0, 1, 2])
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 5, 2000)
+        b = rng.integers(0, 5, 2000)
+        assert abs(adjusted_rand_index(a, b, noise_as_singletons=False)) < 0.05
+
+    def test_ari_below_ri_for_chance(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 3, 300)
+        b = rng.integers(0, 3, 300)
+        assert adjusted_rand_index(a, b, noise_as_singletons=False) < rand_index(
+            a, b, noise_as_singletons=False
+        )
+
+
+class TestContingency:
+    def test_table_sums(self):
+        a = np.array([0, 0, 1, 1, 1])
+        b = np.array([0, 1, 1, 1, 1])
+        table = contingency_table(a, b)
+        assert table.sum() == 5
+        assert table.sum(axis=1).tolist() == [2, 3]
+        assert table.sum(axis=0).tolist() == [1, 4]

@@ -1,0 +1,98 @@
+"""Unit tests for repro.spatial.cell_index.
+
+The critical contract: the two candidate strategies (offset enumeration
+and kd-tree) return identical results, and both return exactly the
+non-empty cells whose box is within eps of the query cell's box.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spatial.cell_index import NeighborCellFinder
+
+
+def brute_candidates(cells, query, side, eps):
+    out = []
+    q = np.asarray(query, dtype=np.int64)
+    for cell in cells:
+        delta = np.abs(np.asarray(cell, dtype=np.int64) - q)
+        gap = np.maximum(delta - 1, 0) * side
+        if math.sqrt(float(np.dot(gap, gap))) <= eps * (1 + 1e-12):
+            out.append(cell)
+    return sorted(out)
+
+
+@pytest.fixture()
+def random_cells_2d():
+    rng = np.random.default_rng(0)
+    return {tuple(int(v) for v in row) for row in rng.integers(-6, 7, (150, 2))}
+
+
+class TestStrategiesAgree:
+    def test_enumerate_matches_bruteforce(self, random_cells_2d):
+        side = 0.5
+        eps = side * math.sqrt(2)
+        finder = NeighborCellFinder(random_cells_2d, side, eps, strategy="enumerate")
+        for query in [(0, 0), (3, -2), (-6, 6), (100, 100)]:
+            assert finder.candidates(query) == brute_candidates(
+                random_cells_2d, query, side, eps
+            )
+
+    def test_kdtree_matches_bruteforce(self, random_cells_2d):
+        side = 0.5
+        eps = side * math.sqrt(2)
+        finder = NeighborCellFinder(random_cells_2d, side, eps, strategy="kdtree")
+        for query in [(0, 0), (3, -2), (-6, 6), (100, 100)]:
+            assert finder.candidates(query) == brute_candidates(
+                random_cells_2d, query, side, eps
+            )
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_strategies_agree_random(self, dim):
+        rng = np.random.default_rng(dim)
+        cells = {tuple(int(v) for v in row) for row in rng.integers(-4, 5, (80, dim))}
+        side = 0.3
+        eps = side * math.sqrt(dim)
+        enum = NeighborCellFinder(cells, side, eps, strategy="enumerate")
+        tree = NeighborCellFinder(cells, side, eps, strategy="kdtree")
+        for _ in range(20):
+            query = tuple(int(v) for v in rng.integers(-5, 6, dim))
+            assert enum.candidates(query) == tree.candidates(query)
+
+
+class TestAutoStrategy:
+    def test_low_dim_auto_is_enumerate(self):
+        finder = NeighborCellFinder({(0, 0)}, 1.0, math.sqrt(2))
+        assert finder.strategy == "enumerate"
+
+    def test_high_dim_auto_is_kdtree(self):
+        cell = tuple([0] * 13)
+        finder = NeighborCellFinder({cell}, 1.0, math.sqrt(13))
+        assert finder.strategy == "kdtree"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborCellFinder({(0, 0)}, 1.0, 1.0, strategy="quantum")
+
+
+class TestEdgeCases:
+    def test_empty_cell_set(self):
+        finder = NeighborCellFinder(set(), 1.0, 1.0, strategy="kdtree")
+        assert finder.candidates((0,)) == []
+
+    def test_query_from_empty_cell(self, random_cells_2d):
+        side = 0.5
+        eps = side * math.sqrt(2)
+        finder = NeighborCellFinder(random_cells_2d, side, eps)
+        query = (999, 999)  # definitely not a member
+        assert finder.candidates(query) == []
+
+    def test_self_included_when_nonempty(self):
+        finder = NeighborCellFinder({(1, 1)}, 1.0, math.sqrt(2))
+        assert (1, 1) in finder.candidates((1, 1))
+
+    def test_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError):
+            NeighborCellFinder({(0,)}, 0.0, 1.0)

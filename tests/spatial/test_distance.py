@@ -1,0 +1,78 @@
+"""Unit tests for repro.spatial.distance."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.distance import (
+    count_within,
+    euclidean,
+    pairwise_distances,
+    points_within,
+    squared_distances,
+)
+
+
+class TestEuclidean:
+    def test_simple_345_triangle(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_identical_points(self):
+        p = np.array([1.5, -2.0, 7.0])
+        assert euclidean(p, p) == 0.0
+
+    def test_symmetry(self):
+        p = np.array([1.0, 2.0])
+        q = np.array([-3.0, 0.5])
+        assert euclidean(p, q) == euclidean(q, p)
+
+    def test_one_dimension(self):
+        assert euclidean(np.array([2.0]), np.array([-1.0])) == 3.0
+
+
+class TestSquaredDistances:
+    def test_matches_euclidean(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(50, 3))
+        center = rng.normal(size=3)
+        expected = np.array([euclidean(p, center) ** 2 for p in pts])
+        np.testing.assert_allclose(squared_distances(pts, center), expected)
+
+    def test_empty_input(self):
+        out = squared_distances(np.empty((0, 2)), np.zeros(2))
+        assert out.shape == (0,)
+
+
+class TestPairwiseDistances:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(20, 4))
+        b = rng.normal(size=(30, 4))
+        out = pairwise_distances(a, b)
+        brute = np.array([[euclidean(p, q) for q in b] for p in a])
+        np.testing.assert_allclose(out, brute, atol=1e-9)
+
+    def test_no_negative_sqrt_warnings(self):
+        # Identical points stress the |a|^2+|b|^2-2ab cancellation.
+        a = np.tile([1e8, -1e8], (10, 1))
+        out = pairwise_distances(a, a)
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(np.diag(out), 0.0, atol=1e-2)
+
+    def test_shape(self):
+        out = pairwise_distances(np.zeros((3, 2)), np.zeros((5, 2)))
+        assert out.shape == (3, 5)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros(3), np.zeros((5, 3)))
+
+
+class TestPointsWithin:
+    def test_inclusive_boundary(self):
+        pts = np.array([[1.0, 0.0], [0.0, 2.0]])
+        mask = points_within(pts, np.zeros(2), 1.0)
+        assert mask.tolist() == [True, False]
+
+    def test_count_within(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [2.0, 0.0]])
+        assert count_within(pts, np.zeros(2), 1.0) == 2

@@ -1,0 +1,145 @@
+"""Unit tests for repro.spatial.grid."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spatial.grid import (
+    GridSpec,
+    box_max_distance_to_point,
+    box_min_distance_to_point,
+    cell_box_bounds,
+    cell_ids_for_points,
+    group_points_by_cell,
+    neighbor_cell_offsets,
+)
+
+
+class TestGridSpec:
+    def test_diagonal_equals_eps(self):
+        for dim in (1, 2, 3, 5, 13):
+            spec = GridSpec(eps=0.7, dim=dim)
+            assert math.isclose(spec.diagonal, 0.7)
+
+    def test_side_formula(self):
+        spec = GridSpec(eps=2.0, dim=4)
+        assert math.isclose(spec.side, 1.0)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            GridSpec(eps=0.0, dim=2)
+        with pytest.raises(ValueError):
+            GridSpec(eps=-1.0, dim=2)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            GridSpec(eps=1.0, dim=0)
+
+    def test_cell_id_of_negative_coordinates(self):
+        spec = GridSpec(eps=math.sqrt(2), dim=2)  # side = 1
+        assert spec.cell_id_of(np.array([-0.5, 0.5])) == (-1, 0)
+
+    def test_origin_and_center(self):
+        spec = GridSpec(eps=math.sqrt(2), dim=2)
+        np.testing.assert_allclose(spec.cell_origin((2, -1)), [2.0, -1.0])
+        np.testing.assert_allclose(spec.cell_center((0, 0)), [0.5, 0.5])
+
+
+class TestCellIds:
+    def test_points_within_one_cell_are_within_eps(self):
+        # The defining property of the grid: cell diagonal == eps.
+        rng = np.random.default_rng(0)
+        eps = 0.5
+        pts = rng.uniform(-3, 3, (500, 3))
+        spec = GridSpec(eps, 3)
+        ids = cell_ids_for_points(pts, spec.side)
+        for cell in np.unique(ids, axis=0)[:20]:
+            members = pts[np.all(ids == cell, axis=1)]
+            if members.shape[0] > 1:
+                diffs = members[:, None, :] - members[None, :, :]
+                dists = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+                assert dists.max() <= eps + 1e-12
+
+    def test_rejects_1d_points(self):
+        with pytest.raises(ValueError):
+            cell_ids_for_points(np.zeros(5), 1.0)
+
+
+class TestGroupPointsByCell:
+    def test_partition_of_indices(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 5, (200, 2))
+        groups = group_points_by_cell(pts, 0.9)
+        all_indices = np.concatenate(list(groups.values()))
+        assert sorted(all_indices.tolist()) == list(range(200))
+
+    def test_group_members_share_cell(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(-2, 2, (100, 3))
+        side = 0.7
+        groups = group_points_by_cell(pts, side)
+        for cell_id, indices in groups.items():
+            ids = np.floor(pts[indices] / side).astype(np.int64)
+            assert np.all(ids == np.array(cell_id))
+
+    def test_empty_input(self):
+        assert group_points_by_cell(np.empty((0, 2)), 1.0) == {}
+
+    def test_single_point(self):
+        groups = group_points_by_cell(np.array([[0.2, 0.3]]), 1.0)
+        assert list(groups.keys()) == [(0, 0)]
+
+
+class TestBoxDistances:
+    def test_point_inside_box(self):
+        lo, hi = cell_box_bounds((0, 0), 1.0)
+        assert box_min_distance_to_point(lo, hi, np.array([0.5, 0.5])) == 0.0
+
+    def test_point_outside_box(self):
+        lo, hi = cell_box_bounds((0, 0), 1.0)
+        assert math.isclose(
+            box_min_distance_to_point(lo, hi, np.array([2.0, 0.5])), 1.0
+        )
+
+    def test_max_distance_is_to_far_corner(self):
+        lo, hi = cell_box_bounds((0, 0), 1.0)
+        assert math.isclose(
+            box_max_distance_to_point(lo, hi, np.array([0.0, 0.0])), math.sqrt(2)
+        )
+
+    def test_min_le_max(self):
+        rng = np.random.default_rng(3)
+        lo, hi = cell_box_bounds((1, -2, 0), 0.5)
+        for _ in range(20):
+            p = rng.uniform(-3, 3, 3)
+            assert box_min_distance_to_point(lo, hi, p) <= box_max_distance_to_point(
+                lo, hi, p
+            )
+
+
+class TestNeighborCellOffsets:
+    def test_includes_zero_offset(self):
+        offsets = neighbor_cell_offsets(2)
+        assert any(np.all(row == 0) for row in offsets)
+
+    def test_2d_count_matches_condition(self):
+        # In 2-d: sum(max(|o|-1, 0)^2) <= 2 over [-2, 2]^2.
+        offsets = neighbor_cell_offsets(2)
+        gap = np.maximum(np.abs(offsets) - 1, 0)
+        assert np.all(np.einsum("ij,ij->i", gap, gap) <= 2)
+        # Sufficiency: every offset satisfying the condition is present.
+        expected = 0
+        for a in range(-3, 4):
+            for b in range(-3, 4):
+                if max(abs(a) - 1, 0) ** 2 + max(abs(b) - 1, 0) ** 2 <= 2:
+                    expected += 1
+        assert offsets.shape[0] == expected
+
+    def test_explosion_guard(self):
+        with pytest.raises(ValueError, match="kd-tree"):
+            neighbor_cell_offsets(13)
+
+    def test_radius_override(self):
+        offsets = neighbor_cell_offsets(1, radius_cells=5)
+        assert offsets.min() >= -5 and offsets.max() <= 5

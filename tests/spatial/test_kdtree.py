@@ -1,0 +1,83 @@
+"""Unit tests for repro.spatial.kdtree."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.kdtree import KDTree
+
+
+def brute_ball(points, center, radius):
+    diff = points - center
+    return set(np.nonzero(np.einsum("ij,ij->i", diff, diff) <= radius**2)[0].tolist())
+
+
+class TestQueryBall:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 8])
+    def test_matches_bruteforce(self, dim):
+        rng = np.random.default_rng(dim)
+        pts = rng.normal(size=(300, dim))
+        tree = KDTree(pts)
+        for _ in range(10):
+            center = rng.normal(size=dim)
+            radius = float(rng.uniform(0.3, 1.5))
+            got = set(tree.query_ball(center, radius).tolist())
+            assert got == brute_ball(pts, center, radius)
+
+    def test_empty_tree(self):
+        tree = KDTree(np.empty((0, 3)))
+        assert tree.query_ball(np.zeros(3), 1.0).size == 0
+
+    def test_zero_radius_hits_exact_point(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        tree = KDTree(pts)
+        assert set(tree.query_ball(np.array([1.0, 1.0]), 0.0).tolist()) == {1}
+
+    def test_duplicate_points(self):
+        pts = np.zeros((100, 2))
+        tree = KDTree(pts)
+        assert tree.query_ball(np.zeros(2), 0.1).size == 100
+
+    def test_wrong_center_shape(self):
+        tree = KDTree(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            tree.query_ball(np.zeros(2), 1.0)
+
+    def test_small_leaf_size(self):
+        rng = np.random.default_rng(9)
+        pts = rng.normal(size=(200, 2))
+        tree = KDTree(pts, leaf_size=2)
+        center = np.zeros(2)
+        assert set(tree.query_ball(center, 1.0).tolist()) == brute_ball(
+            pts, center, 1.0
+        )
+
+
+class TestQueryNearest:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(4)
+        pts = rng.normal(size=(500, 3))
+        tree = KDTree(pts)
+        for _ in range(20):
+            center = rng.normal(size=3)
+            idx, dist = tree.query_nearest(center)
+            diff = pts - center
+            sq = np.einsum("ij,ij->i", diff, diff)
+            assert idx == int(np.argmin(sq))
+            assert np.isclose(dist, np.sqrt(sq.min()))
+
+    def test_empty_tree_raises(self):
+        with pytest.raises(ValueError):
+            KDTree(np.empty((0, 2))).query_nearest(np.zeros(2))
+
+
+class TestConstruction:
+    def test_len(self):
+        assert len(KDTree(np.zeros((7, 2)))) == 7
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros(5))
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((5, 2)), leaf_size=0)

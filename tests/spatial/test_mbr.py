@@ -1,0 +1,83 @@
+"""Unit tests for repro.spatial.mbr."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.mbr import MBR
+
+
+class TestConstruction:
+    def test_of_points(self):
+        pts = np.array([[0.0, 5.0], [2.0, 1.0], [-1.0, 3.0]])
+        mbr = MBR.of_points(pts)
+        np.testing.assert_allclose(mbr.lo, [-1.0, 1.0])
+        np.testing.assert_allclose(mbr.hi, [2.0, 5.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MBR.of_points(np.empty((0, 2)))
+
+    def test_rejects_inverted_corners(self):
+        with pytest.raises(ValueError):
+            MBR(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_dim(self):
+        assert MBR(np.zeros(4), np.ones(4)).dim == 4
+
+
+class TestMerged:
+    def test_covers_both(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBR(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+        m = a.merged(b)
+        np.testing.assert_allclose(m.lo, [0.0, -1.0])
+        np.testing.assert_allclose(m.hi, [3.0, 1.0])
+
+
+class TestSkipTest:
+    """Lemma 5.10: the skip test must be sound (never skip a relevant
+    sub-dictionary) — checked here geometrically."""
+
+    def test_far_point_skips(self):
+        mbr = MBR(np.zeros(2), np.ones(2))
+        assert mbr.can_skip(np.array([5.0, 0.5]), eps=1.0)
+
+    def test_point_inside_never_skips(self):
+        mbr = MBR(np.zeros(2), np.ones(2))
+        assert not mbr.can_skip(np.array([0.5, 0.5]), eps=0.1)
+
+    def test_no_false_skips(self):
+        # If some indexed point is within eps, the MBR must not skip.
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 2, (100, 3))
+        mbr = MBR.of_points(pts)
+        for _ in range(50):
+            query = rng.uniform(-2, 4, 3)
+            eps = float(rng.uniform(0.2, 1.5))
+            diff = pts - query
+            has_neighbor = np.any(np.einsum("ij,ij->i", diff, diff) <= eps**2)
+            if has_neighbor:
+                assert not mbr.can_skip(query, eps)
+
+    def test_diagonal_gap_does_not_skip(self):
+        # Axis-wise test: a point diagonally off the corner farther than
+        # eps in Euclidean terms but within eps per axis is NOT skipped
+        # (the test is conservative, never unsound).
+        mbr = MBR(np.zeros(2), np.ones(2))
+        p = np.array([1.9, 1.9])  # Euclidean distance to box ~ 1.27
+        assert not mbr.can_skip(p, eps=1.0)
+
+
+class TestDistances:
+    def test_min_distance_inside_is_zero(self):
+        mbr = MBR(np.zeros(2), np.ones(2))
+        assert mbr.min_distance_to(np.array([0.3, 0.7])) == 0.0
+
+    def test_min_distance_outside(self):
+        mbr = MBR(np.zeros(2), np.ones(2))
+        assert np.isclose(mbr.min_distance_to(np.array([2.0, 0.5])), 1.0)
+
+    def test_contains_point(self):
+        mbr = MBR(np.zeros(2), np.ones(2))
+        assert mbr.contains_point(np.array([1.0, 1.0]))  # border inclusive
+        assert not mbr.contains_point(np.array([1.0001, 0.5]))

@@ -1,0 +1,91 @@
+"""Unit tests for the rp-dbscan CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_labels, save_points
+
+
+@pytest.fixture()
+def point_file(tmp_path, two_blobs):
+    path = tmp_path / "pts.npy"
+    save_points(path, two_blobs)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generates_dataset(self, tmp_path, capsys):
+        out = tmp_path / "geo.npy"
+        code = main(
+            ["generate", "--dataset", "GeoLife", "--n", "200", "--out", str(out)]
+        )
+        assert code == 0
+        assert np.load(out).shape == (200, 3)
+        assert "eps10" in capsys.readouterr().out
+
+    def test_unknown_dataset(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--dataset", "Bogus", "--out", str(tmp_path / "x.npy")]
+        )
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestCluster:
+    def test_clusters_and_writes_labels(self, point_file, tmp_path, capsys):
+        label_path = tmp_path / "labels.txt"
+        code = main(
+            [
+                "cluster",
+                point_file,
+                "--eps",
+                "0.3",
+                "--min-pts",
+                "10",
+                "--out",
+                str(label_path),
+            ]
+        )
+        assert code == 0
+        assert "clusters=2" in capsys.readouterr().out
+        labels = load_labels(label_path)
+        assert labels.shape == (600,)
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_without_output_path(self, point_file, capsys):
+        code = main(["cluster", point_file, "--eps", "0.3", "--min-pts", "10"])
+        assert code == 0
+        assert "clusters=2" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_prints_table(self, point_file, capsys):
+        code = main(
+            [
+                "compare",
+                point_file,
+                "--eps",
+                "0.3",
+                "--min-pts",
+                "10",
+                "--partitions",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RP-DBSCAN" in out
+        assert "ESP-DBSCAN" in out
+        assert "elapsed" in out
+
+
+class TestAccuracy:
+    def test_reports_rand_index(self, point_file, capsys):
+        code = main(
+            ["accuracy", point_file, "--eps", "0.3", "--min-pts", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Rand index" in out
+        assert "1.0000" in out  # two clean blobs: exact agreement

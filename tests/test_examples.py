@@ -1,0 +1,40 @@
+"""Smoke checks for the example scripts.
+
+Each example is importable (no syntax/import rot) and exposes a
+``main``.  Full executions are exercised by the benchmark/docs workflow,
+not the unit suite, because the examples run at demo scale.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert callable(getattr(module, "main", None)), f"{path.name} lacks main()"
+    assert module.__doc__, f"{path.name} lacks a module docstring"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "skewed_geodata",
+        "accuracy_vs_rho",
+        "scalability_simulation",
+        "highdim_clicklog",
+        "broadcast_and_predict",
+    } <= names

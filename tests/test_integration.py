@@ -1,0 +1,100 @@
+"""Integration tests: end-to-end equivalence across all algorithms.
+
+Corollary 3.6 / Table 4: RP-DBSCAN's clustering is equivalent to exact
+DBSCAN's at small rho, and every parallel baseline (except the naive
+random split and the approximate NG-DBSCAN) agrees too.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RPDBSCAN
+from repro.baselines import (
+    CBPDBSCAN,
+    ESPDBSCAN,
+    ExactDBSCAN,
+    NGDBSCAN,
+    RBPDBSCAN,
+    RhoDBSCAN,
+    SparkDBSCAN,
+)
+from repro.data import blobs, chameleon_like, moons
+from repro.metrics import adjusted_rand_index, rand_index
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        "moons": (moons(2500, seed=0), 0.1, 10),
+        "blobs": (blobs(2500, centers=3, std=0.3, spread=6.0, seed=0), 0.25, 10),
+        "chameleon": (chameleon_like(2500, seed=0), 0.22, 8),
+    }
+
+
+class TestRPDBSCANEquivalence:
+    @pytest.mark.parametrize("name", ["moons", "blobs", "chameleon"])
+    def test_rand_index_one_at_default_rho(self, workloads, name):
+        pts, eps, min_pts = workloads[name]
+        exact = ExactDBSCAN(eps, min_pts).fit(pts)
+        rp = RPDBSCAN(eps, min_pts, num_partitions=8, rho=0.01).fit(pts)
+        assert rand_index(exact.labels, rp.labels) >= 0.9999
+
+    @pytest.mark.parametrize("rho", [0.10, 0.05, 0.01])
+    def test_table4_band(self, workloads, rho):
+        # Table 4: Rand index >= 0.98 even at rho = 0.10.
+        pts, eps, min_pts = workloads["chameleon"]
+        exact = ExactDBSCAN(eps, min_pts).fit(pts)
+        rp = RPDBSCAN(eps, min_pts, num_partitions=8, rho=rho).fit(pts)
+        assert rand_index(exact.labels, rp.labels) >= 0.98
+
+    def test_core_masks_match_exact(self, workloads):
+        pts, eps, min_pts = workloads["blobs"]
+        exact = ExactDBSCAN(eps, min_pts).fit(pts)
+        rp = RPDBSCAN(eps, min_pts, num_partitions=4, rho=0.001).fit(pts)
+        # At rho=0.001 core decisions differ only on razor-edge ties.
+        disagreement = np.count_nonzero(exact.core_mask != rp.core_mask)
+        assert disagreement <= 2
+
+
+class TestBaselineEquivalence:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda eps, mp: RhoDBSCAN(eps, mp, rho=0.01),
+            lambda eps, mp: ESPDBSCAN(eps, mp, 4, rho=0.01),
+            lambda eps, mp: RBPDBSCAN(eps, mp, 4, rho=0.01),
+            lambda eps, mp: CBPDBSCAN(eps, mp, 4, rho=0.01),
+            lambda eps, mp: SparkDBSCAN(eps, mp, 4),
+        ],
+        ids=["rho", "esp", "rbp", "cbp", "spark"],
+    )
+    def test_agree_with_exact(self, workloads, factory):
+        pts, eps, min_pts = workloads["blobs"]
+        exact = ExactDBSCAN(eps, min_pts).fit(pts)
+        result = factory(eps, min_pts).fit(pts)
+        assert result.n_clusters == exact.n_clusters
+        assert rand_index(exact.labels, result.labels) >= 0.995
+
+    def test_ng_dbscan_approximates(self, workloads):
+        pts, eps, min_pts = workloads["blobs"]
+        exact = ExactDBSCAN(eps, min_pts).fit(pts)
+        ng = NGDBSCAN(eps, min_pts, seed=0).fit(pts)
+        assert adjusted_rand_index(exact.labels, ng.labels) >= 0.9
+
+
+class TestParallelInvariants:
+    def test_rp_never_duplicates(self, workloads):
+        pts, eps, min_pts = workloads["moons"]
+        rp = RPDBSCAN(eps, min_pts, num_partitions=8).fit(pts)
+        assert rp.points_processed == pts.shape[0]
+
+    def test_region_split_duplicates(self, workloads):
+        pts, eps, min_pts = workloads["moons"]
+        esp = ESPDBSCAN(eps, min_pts, 8).fit(pts)
+        assert esp.points_processed > pts.shape[0]
+
+    def test_noise_agreement(self, workloads):
+        pts, eps, min_pts = workloads["chameleon"]
+        exact = ExactDBSCAN(eps, min_pts).fit(pts)
+        rp = RPDBSCAN(eps, min_pts, num_partitions=8).fit(pts)
+        assert abs(exact.noise_count - rp.noise_count) <= 3
