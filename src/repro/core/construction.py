@@ -36,10 +36,16 @@ __all__ = ["QueryContext", "SubgraphResult", "build_cell_subgraph"]
 class QueryContext:
     """Broadcast payload for Phase II: dictionary + query configuration.
 
-    The :class:`RegionQueryEngine` is built lazily on first use so that,
-    in ``process`` mode, each worker constructs its own engine (kd-tree,
-    offset table, center caches) from the one-time-shipped dictionary —
-    mirroring Spark, where the broadcast is deserialized per executor.
+    The :class:`RegionQueryEngine` is excluded from the pickled state
+    (``__getstate__``), so each ``process``-mode worker constructs its
+    own engine (kd-tree, offset table, center caches) from the
+    one-time-shipped dictionary — mirroring Spark, where the broadcast
+    is deserialized per executor.  The orchestrator triggers that build
+    through the engine's *warm-up hook* during broadcast installation
+    (worker initialization), so the construction cost lands in the
+    ``engine.setup`` counter bucket rather than in the first Phase II
+    task's timing; the lazy :attr:`engine` property remains as a
+    fallback for direct/driver-side use.
     """
 
     dictionary: CellDictionary

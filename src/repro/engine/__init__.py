@@ -8,7 +8,14 @@ provided by a small engine with two executors:
   task's wall time.  This is the default for tests and for experiments
   whose *measurements* (load imbalance, duplication, phase breakdown)
   only need accurate per-task timings.
-* ``process``: a :mod:`multiprocessing` pool for actual parallel speed.
+* ``process``: a persistent :mod:`multiprocessing` pool for actual
+  parallel speed.  One pool lives for the engine's lifetime (use the
+  engine as a context manager or call ``close()``); broadcast values
+  are shipped to each worker once per distinct value under an epoch
+  tag, and a warm-up hook lets phases pre-build per-worker state so
+  task timings measure compute, not setup.  Engine overhead (pool
+  startup, broadcast shipping, warm-up) is accounted in a dedicated
+  ``engine.setup`` counter bucket, excluded from phase breakdowns.
 
 For scalability experiments (Figs 15 and 20) the measured per-task
 durations are replayed through :func:`repro.engine.simulate.makespan`
@@ -16,8 +23,17 @@ to compute the elapsed time a ``w``-worker cluster would achieve, which
 reproduces the speed-up *shape* without 48 physical cores.
 """
 
-from repro.engine.counters import Counters, TaskStats
+from repro.engine.counters import DRIVER_WORKER, Counters, CountersMark, TaskStats
 from repro.engine.executors import Engine
 from repro.engine.simulate import PhaseSchedule, makespan, speedup_curve
 
-__all__ = ["Engine", "Counters", "TaskStats", "makespan", "speedup_curve", "PhaseSchedule"]
+__all__ = [
+    "Engine",
+    "Counters",
+    "CountersMark",
+    "TaskStats",
+    "DRIVER_WORKER",
+    "makespan",
+    "speedup_curve",
+    "PhaseSchedule",
+]

@@ -1,4 +1,4 @@
-"""Task executors: serial (deterministic) and multiprocessing.
+"""Task executors: serial (deterministic) and a persistent process pool.
 
 The engine exposes one operation, :meth:`Engine.map_tasks`: apply a
 function to every task of a phase, with an optional broadcast value
@@ -7,9 +7,30 @@ per task.  This mirrors the Spark usage in the paper — ``mapPartitions``
 over pseudo random partitions with the broadcast two-level cell
 dictionary.
 
-The ``process`` executor ships the broadcast value to each worker process
-exactly once (pool initializer), matching Spark broadcast semantics where
-the dictionary is transferred per executor rather than per task.
+Process-mode semantics (matching Spark's executor model):
+
+* **One pool per engine lifetime.**  The worker pool is created lazily
+  on the first parallel ``map_tasks`` call and then reused by every
+  subsequent phase and every subsequent ``fit()`` that shares the
+  engine.  Use the engine as a context manager (``with Engine("process")
+  as e: ...``) or call :meth:`Engine.close` to release the workers.
+* **Epoch-tagged broadcast caching.**  Each distinct broadcast value is
+  shipped to each worker exactly once, via a barrier fan-out that lands
+  one install task on every worker.  An epoch counter tags the installed
+  value; re-mapping with the *same* broadcast object ships nothing,
+  while a new broadcast bumps the epoch and invalidates the per-worker
+  module-level cache.  Every task carries its expected epoch, so a stale
+  cache raises instead of silently computing with old data.
+* **Warm-up hook.**  ``map_tasks(..., warmup=fn)`` runs ``fn(broadcast)``
+  once per worker during broadcast installation (once on the driver in
+  serial mode).  Phase II uses this to build the region-query engine
+  (kd-tree, center caches) *before* the first task, so first-task
+  timings measure clustering, not index construction.
+* **Setup vs. compute accounting.**  Pool startup, broadcast shipping,
+  and warm-up are recorded in the counters' ``engine.setup`` bucket
+  (:attr:`~repro.engine.counters.Counters.setup_seconds`), outside every
+  phase timer, so Fig 12/13 reproductions are not polluted by one-time
+  engine overhead.
 """
 
 from __future__ import annotations
@@ -19,31 +40,87 @@ import time
 from collections.abc import Callable, Sequence
 from typing import Any
 
-from repro.engine.counters import Counters, TaskStats
+from repro.engine.counters import DRIVER_WORKER, Counters, TaskStats
 
 __all__ = ["Engine"]
 
-# Module-level slot for the broadcast value inside worker processes.
+#: Sentinel meaning "no broadcast has been shipped/warmed yet" — distinct
+#: from ``None``, which is a legal (if pointless) broadcast value.
+_NOTHING = object()
+
+#: Deadlock backstop for the broadcast-install rendezvous: if a worker
+#: died, the barrier breaks loudly after this many seconds instead of
+#: hanging the fan-out forever.
+_BARRIER_TIMEOUT_S = 120.0
+
+# ----------------------------------------------------------------------
+# Worker-side module state.  Lives in each pool worker process; the
+# driver's copy is only used when tasks run inline.
+# ----------------------------------------------------------------------
 _WORKER_BROADCAST: Any = None
+_WORKER_EPOCH: int = -1
+_WORKER_BARRIER: Any = None
+_WORKER_INSTALLS: int = 0
 
 
-def _init_worker(broadcast: Any) -> None:
-    global _WORKER_BROADCAST
-    _WORKER_BROADCAST = broadcast
+def _init_worker(barrier: Any) -> None:
+    """Pool initializer: reset the broadcast cache, keep the barrier."""
+    global _WORKER_BROADCAST, _WORKER_EPOCH, _WORKER_BARRIER, _WORKER_INSTALLS
+    _WORKER_BARRIER = barrier
+    _WORKER_BROADCAST = None
+    _WORKER_EPOCH = -1
+    _WORKER_INSTALLS = 0
 
 
-def _run_task(payload: tuple[Callable[..., Any], int, Any, bool]) -> tuple[int, Any, float]:
-    fn, task_id, task, wants_broadcast = payload
+def _install_broadcast(
+    payload: tuple[int, Any, Callable[[Any], Any] | None],
+) -> tuple[int, int, float]:
+    """Install one broadcast epoch in this worker, then rendezvous.
+
+    The trailing ``barrier.wait()`` keeps this worker busy until *every*
+    worker has taken exactly one install task, which is what guarantees
+    the fan-out reaches the whole pool instead of piling onto one idle
+    worker.
+    """
+    epoch, value, warmup = payload
+    global _WORKER_BROADCAST, _WORKER_EPOCH, _WORKER_INSTALLS
+    _WORKER_BROADCAST = value
+    _WORKER_EPOCH = epoch
+    _WORKER_INSTALLS += 1
+    warm_seconds = 0.0
+    if warmup is not None:
+        start = time.perf_counter()
+        warmup(value)
+        warm_seconds = time.perf_counter() - start
+    _WORKER_BARRIER.wait(timeout=_BARRIER_TIMEOUT_S)
+    return os.getpid(), _WORKER_INSTALLS, warm_seconds
+
+
+def _run_task(
+    payload: tuple[Callable[..., Any], int, Any, int | None],
+) -> tuple[int, Any, float, int]:
+    fn, task_id, task, epoch = payload
     start = time.perf_counter()
-    if wants_broadcast:
-        result = fn(task, _WORKER_BROADCAST)
-    else:
+    if epoch is None:
         result = fn(task)
-    return task_id, result, time.perf_counter() - start
+    else:
+        if _WORKER_EPOCH != epoch:
+            raise RuntimeError(
+                f"stale broadcast in worker {os.getpid()}: cached epoch "
+                f"{_WORKER_EPOCH}, task expects {epoch}"
+            )
+        result = fn(task, _WORKER_BROADCAST)
+    return task_id, result, time.perf_counter() - start, os.getpid()
 
 
 def _default_workers() -> int:
     return max(1, os.cpu_count() or 1)
+
+
+def _default_start_method() -> str:
+    # fork is fastest where safe; Windows (and notably macOS since 3.8's
+    # default flip) wants spawn.  Everything here is spawn-safe anyway.
+    return "fork" if os.name == "posix" else "spawn"
 
 
 class Engine:
@@ -57,6 +134,23 @@ class Engine:
         Worker count for the ``process`` mode; defaults to the CPU count.
     counters:
         Optional pre-existing :class:`Counters` to accumulate into.
+    start_method:
+        Multiprocessing start method for the pool (``"fork"`` or
+        ``"spawn"``); defaults per platform.  The engine is spawn-safe:
+        all worker entry points are module-level functions and the
+        rendezvous barrier is shipped through the pool initializer.
+
+    Notes
+    -----
+    In ``process`` mode the engine owns a persistent worker pool.  It is
+    created lazily by the first parallel :meth:`map_tasks` call and
+    reused until :meth:`close` (also invoked by ``with``-exit).  Calling
+    :meth:`map_tasks` after ``close()`` simply recreates the pool.
+
+    Diagnostics useful for tests and benches: :attr:`pools_created`
+    counts pool startups over the engine's lifetime and
+    :attr:`broadcast_ships` counts broadcast fan-outs (one per *distinct*
+    broadcast value, not one per ``map_tasks`` call).
     """
 
     def __init__(
@@ -64,6 +158,8 @@ class Engine:
         mode: str = "serial",
         num_workers: int | None = None,
         counters: Counters | None = None,
+        *,
+        start_method: str | None = None,
     ) -> None:
         if mode not in ("serial", "process"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -72,6 +168,74 @@ class Engine:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers if num_workers is not None else _default_workers()
         self.counters = counters if counters is not None else Counters()
+        self.start_method = start_method if start_method is not None else _default_start_method()
+        # Persistent-pool state.
+        self._pool: Any = None
+        self._barrier: Any = None
+        self._shipped_broadcast: Any = _NOTHING
+        self._shipped_epoch = 0
+        # Serial-mode warm-up dedup (same identity semantics as shipping).
+        self._warmed_broadcast: Any = _NOTHING
+        # Lifetime diagnostics.
+        self.pools_created = 0
+        self.broadcast_ships = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op in serial mode / if unused).
+
+        The engine stays usable: a later :meth:`map_tasks` lazily starts
+        a fresh pool (and re-ships broadcasts, since the new workers
+        start with cold caches).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._barrier = None
+            self._shipped_broadcast = _NOTHING
+
+    def __del__(self) -> None:
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.terminate()
+            except Exception:
+                pass
+
+    def _ensure_pool(self) -> Any:
+        if self._pool is None:
+            import multiprocessing as mp
+
+            with self.counters.timed_setup("pool_startup"):
+                ctx = mp.get_context(self.start_method)
+                self._barrier = ctx.Barrier(self.num_workers)
+                self._pool = ctx.Pool(
+                    self.num_workers,
+                    initializer=_init_worker,
+                    initargs=(self._barrier,),
+                )
+            self.pools_created += 1
+            self._shipped_broadcast = _NOTHING
+        return self._pool
+
+    @property
+    def broadcast_epoch(self) -> int:
+        """Epoch of the broadcast currently installed in the pool."""
+        return self._shipped_epoch
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
 
     def map_tasks(
         self,
@@ -81,6 +245,7 @@ class Engine:
         broadcast: Any = None,
         phase: str = "map",
         item_counter: Callable[[Any], int] | None = None,
+        warmup: Callable[[Any], Any] | None = None,
     ) -> list[Any]:
         """Apply ``fn`` to every task, in task order.
 
@@ -94,13 +259,20 @@ class Engine:
             The per-partition inputs.
         broadcast:
             Read-only value shared by every task (e.g. the two-level cell
-            dictionary).
+            dictionary).  Shipped to each worker at most once per
+            distinct value (identity-compared): passing the same object
+            to consecutive calls reuses the per-worker cache.
         phase:
             Counter bucket for the task stats.
         item_counter:
             Optional function mapping a *task* to the number of items it
             carries, recorded in :class:`TaskStats` for the duplication
             metric.
+        warmup:
+            Optional ``warmup(broadcast)`` hook run once per worker while
+            the broadcast is installed (once on the driver when tasks run
+            inline), before any task of this broadcast executes.  Its
+            cost lands in the ``engine.setup`` bucket, not in ``phase``.
 
         Returns
         -------
@@ -109,41 +281,64 @@ class Engine:
         """
         wants_broadcast = broadcast is not None
         results: list[Any] = [None] * len(tasks)
-        with self.counters.timed_phase(phase):
-            if self.mode == "serial" or len(tasks) <= 1:
+        if self.mode == "process" and len(tasks) > 1:
+            # Setup (pool startup + broadcast shipping + warm-up) happens
+            # OUTSIDE the phase timer: it is engine overhead, not work.
+            pool = self._ensure_pool()
+            epoch: int | None = None
+            if wants_broadcast:
+                self._ship_broadcast(broadcast, warmup)
+                epoch = self._shipped_epoch
+            payloads = [
+                (fn, task_id, task, epoch) for task_id, task in enumerate(tasks)
+            ]
+            with self.counters.timed_phase(phase):
+                for task_id, result, elapsed, pid in pool.imap_unordered(
+                    _run_task, payloads
+                ):
+                    results[task_id] = result
+                    self._record(phase, task_id, tasks[task_id], elapsed, item_counter, pid)
+        else:
+            if wants_broadcast and warmup is not None:
+                self._warm_inline(broadcast, warmup)
+            with self.counters.timed_phase(phase):
                 for task_id, task in enumerate(tasks):
                     start = time.perf_counter()
                     result = fn(task, broadcast) if wants_broadcast else fn(task)
                     elapsed = time.perf_counter() - start
                     results[task_id] = result
-                    self._record(phase, task_id, task, elapsed, item_counter)
-            else:
-                self._run_process_pool(
-                    fn, tasks, broadcast, wants_broadcast, phase, item_counter, results
-                )
+                    self._record(
+                        phase, task_id, task, elapsed, item_counter, DRIVER_WORKER
+                    )
         return results
 
-    def _run_process_pool(
-        self,
-        fn: Callable[..., Any],
-        tasks: Sequence[Any],
-        broadcast: Any,
-        wants_broadcast: bool,
-        phase: str,
-        item_counter: Callable[[Any], int] | None,
-        results: list[Any],
+    def _ship_broadcast(
+        self, broadcast: Any, warmup: Callable[[Any], Any] | None
     ) -> None:
-        import multiprocessing as mp
+        """Install ``broadcast`` in every pool worker, once per value."""
+        if broadcast is self._shipped_broadcast:
+            return
+        self._shipped_epoch += 1
+        start = time.perf_counter()
+        payloads = [(self._shipped_epoch, broadcast, warmup)] * self.num_workers
+        installs = self._pool.map(_install_broadcast, payloads, chunksize=1)
+        wall = time.perf_counter() - start
+        warm_wall = max(w for _, _, w in installs) if warmup is not None else 0.0
+        # Warm-ups run concurrently across workers, so the slowest one is
+        # the wall-clock share of the fan-out attributable to warm-up.
+        self.counters.add_setup_time("broadcast_ship", max(wall - warm_wall, 0.0))
+        if warmup is not None:
+            self.counters.add_setup_time("warmup", warm_wall)
+        self._shipped_broadcast = broadcast
+        self.broadcast_ships += 1
 
-        ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
-        workers = min(self.num_workers, len(tasks))
-        payloads = [
-            (fn, task_id, task, wants_broadcast) for task_id, task in enumerate(tasks)
-        ]
-        with ctx.Pool(workers, initializer=_init_worker, initargs=(broadcast,)) as pool:
-            for task_id, result, elapsed in pool.imap_unordered(_run_task, payloads):
-                results[task_id] = result
-                self._record(phase, task_id, tasks[task_id], elapsed, item_counter)
+    def _warm_inline(self, broadcast: Any, warmup: Callable[[Any], Any]) -> None:
+        """Driver-side warm-up with the same once-per-value semantics."""
+        if broadcast is self._warmed_broadcast:
+            return
+        with self.counters.timed_setup("warmup"):
+            warmup(broadcast)
+        self._warmed_broadcast = broadcast
 
     def _record(
         self,
@@ -152,6 +347,9 @@ class Engine:
         task: Any,
         elapsed: float,
         item_counter: Callable[[Any], int] | None,
+        worker: int | str | None,
     ) -> None:
         items = item_counter(task) if item_counter is not None else 0
-        self.counters.record_task(phase, TaskStats(task_id, elapsed, items))
+        self.counters.record_task(
+            phase, TaskStats(task_id, elapsed, items, worker=worker)
+        )

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.rp_dbscan import PHASES, RPDBSCAN
+from repro.core.rp_dbscan import (
+    PHASE_CELL_GRAPH,
+    PHASE_DICTIONARY,
+    PHASE_LABEL,
+    PHASES,
+    RPDBSCAN,
+)
 from repro.engine import Engine
 
 
@@ -145,3 +151,102 @@ class TestConfigurations:
             RPDBSCAN(eps=1.0, min_pts=5, num_partitions=0)
         with pytest.raises(ValueError):
             RPDBSCAN(eps=1.0, min_pts=5).fit(np.zeros(7))
+
+
+class TestRepeatedFits:
+    """Regression: counters must not leak across fit() calls."""
+
+    def test_second_fit_reports_only_its_own_tasks(self, two_blobs):
+        model = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4)
+        first = model.fit(two_blobs)
+        second = model.fit(two_blobs)
+        # Before the per-fit snapshot, the second result counted the
+        # first run's tasks too (8 tasks, 2x points, doubled times).
+        assert len(first.counters.task_times(PHASE_CELL_GRAPH)) == 4
+        assert len(second.counters.task_times(PHASE_CELL_GRAPH)) == 4
+        assert first.points_processed == two_blobs.shape[0]
+        assert second.points_processed == two_blobs.shape[0]
+
+    def test_breakdown_fractions_per_fit(self, two_blobs):
+        model = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4)
+        model.fit(two_blobs)
+        second = model.fit(two_blobs)
+        breakdown = second.phase_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        # Each phase's per-fit seconds must be bounded by the engine's
+        # lifetime accumulation over two fits.
+        lifetime = model.engine.counters
+        for phase, seconds in second.counters.phase_seconds.items():
+            assert seconds <= lifetime.phase_seconds[phase] + 1e-9
+
+    def test_engine_lifetime_counters_still_accumulate(self, two_blobs):
+        engine = Engine("serial")
+        model = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4, engine=engine)
+        model.fit(two_blobs)
+        model.fit(two_blobs)
+        # The shared engine keeps the full history...
+        assert len(engine.counters.task_times(PHASE_CELL_GRAPH)) == 8
+        # ...while each result got an independent snapshot object.
+        assert engine.counters is not model.fit(two_blobs).counters
+
+    def test_load_imbalance_independent_across_fits(self, two_blobs):
+        model = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4)
+        first = model.fit(two_blobs)
+        second = model.fit(two_blobs)
+        assert first.load_imbalance >= 1.0
+        assert second.load_imbalance >= 1.0
+        assert first.counters.phase_tasks is not second.counters.phase_tasks
+
+
+class TestPersistentProcessEngine:
+    """The paper's executor model: one pool, broadcasts shipped once."""
+
+    def test_serial_and_process_agree_on_labels_and_cores(self, blobs_with_noise):
+        serial = RPDBSCAN(eps=0.25, min_pts=10, num_partitions=4, seed=3).fit(
+            blobs_with_noise
+        )
+        with Engine("process", num_workers=2) as engine:
+            process = RPDBSCAN(
+                eps=0.25, min_pts=10, num_partitions=4, seed=3, engine=engine
+            ).fit(blobs_with_noise)
+        np.testing.assert_array_equal(serial.labels, process.labels)
+        np.testing.assert_array_equal(serial.core_mask, process.core_mask)
+        assert serial.n_clusters == process.n_clusters
+
+    def test_one_pool_across_phases_and_fits(self, two_blobs):
+        with Engine("process", num_workers=2) as engine:
+            model = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4, engine=engine)
+            first = model.fit(two_blobs)
+            second = model.fit(two_blobs)
+            assert engine.pools_created == 1
+            # Worker PIDs are stable across the mapped phases of both
+            # fits: at most num_workers distinct PIDs, never the driver.
+            pids = set()
+            for counters in (first.counters, second.counters):
+                for phase in (PHASE_DICTIONARY, PHASE_CELL_GRAPH, PHASE_LABEL):
+                    pids |= {t.worker for t in counters.phase_tasks.get(phase, [])}
+            import os
+
+            assert len(pids) <= 2
+            assert os.getpid() not in pids
+
+    def test_each_distinct_broadcast_ships_once(self, two_blobs):
+        with Engine("process", num_workers=2) as engine:
+            model = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=4, engine=engine)
+            model.fit(two_blobs)
+            # One fit broadcasts three distinct values: the geometry
+            # (I-2), the query context (II), the labeling context (III-2).
+            assert engine.broadcast_ships == 3
+            model.fit(two_blobs)
+            assert engine.broadcast_ships == 6
+
+    def test_setup_bucket_populated_and_excluded_from_phases(self, two_blobs):
+        with Engine("process", num_workers=2) as engine:
+            result = RPDBSCAN(
+                eps=0.3, min_pts=10, num_partitions=4, engine=engine
+            ).fit(two_blobs)
+            assert result.setup_seconds > 0.0
+            assert "pool_startup" in result.counters.setup_seconds
+            assert "warmup" in result.counters.setup_seconds
+            assert set(result.counters.phase_seconds) == set(PHASES)
+            assert result.worker_imbalance >= 1.0

@@ -69,6 +69,90 @@ class TestPhaseTimes:
         assert "boom" in counters.phase_seconds
 
 
+class TestSetupBucket:
+    def test_setup_accumulates(self):
+        counters = Counters()
+        counters.add_setup_time("pool_startup", 0.5)
+        counters.add_setup_time("broadcast_ship", 0.25)
+        counters.add_setup_time("broadcast_ship", 0.25)
+        assert counters.setup_seconds["broadcast_ship"] == pytest.approx(0.5)
+        assert counters.setup_total() == pytest.approx(1.0)
+
+    def test_timed_setup_context(self):
+        counters = Counters()
+        with counters.timed_setup("warmup"):
+            time.sleep(0.01)
+        assert counters.setup_seconds["warmup"] >= 0.01
+
+    def test_setup_excluded_from_phases_and_breakdown(self):
+        counters = Counters()
+        counters.add_phase_time("II", 3.0)
+        counters.add_setup_time("pool_startup", 1.0)
+        assert counters.total_seconds() == pytest.approx(3.0)
+        assert counters.breakdown() == {"II": 1.0}
+        assert counters.grand_total_seconds() == pytest.approx(4.0)
+
+
+class TestWorkerAttribution:
+    def test_worker_times(self):
+        counters = Counters()
+        counters.record_task("II", TaskStats(0, 1.0, worker=101))
+        counters.record_task("II", TaskStats(1, 2.0, worker=101))
+        counters.record_task("II", TaskStats(2, 1.0, worker=202))
+        assert counters.worker_times("II") == {101: pytest.approx(3.0), 202: pytest.approx(1.0)}
+        assert counters.worker_imbalance("II") == pytest.approx(3.0)
+
+    def test_missing_worker_attributed_to_driver(self):
+        counters = Counters()
+        counters.record_task("II", TaskStats(0, 1.0))
+        counters.record_task("II", TaskStats(1, 2.0))
+        assert counters.worker_times("II") == {"driver": pytest.approx(3.0)}
+        assert counters.worker_imbalance("II") == 1.0
+
+    def test_empty_phase(self):
+        assert Counters().worker_times("nope") == {}
+        assert Counters().worker_imbalance("nope") == 1.0
+
+
+class TestMarkSince:
+    def test_delta_contains_only_new_work(self):
+        counters = Counters()
+        counters.record_task("II", TaskStats(0, 1.0, items=10))
+        counters.add_phase_time("II", 1.0)
+        counters.add_setup_time("pool_startup", 0.5)
+        mark = counters.mark()
+        counters.record_task("II", TaskStats(1, 2.0, items=20))
+        counters.record_task("III", TaskStats(0, 0.5))
+        counters.add_phase_time("II", 2.0)
+        counters.add_phase_time("III", 0.5)
+        counters.add_setup_time("broadcast_ship", 0.1)
+
+        delta = counters.since(mark)
+        assert delta.task_times("II") == [2.0]
+        assert delta.task_times("III") == [0.5]
+        assert delta.items_processed("II") == 20
+        assert delta.phase_seconds["II"] == pytest.approx(2.0)
+        assert delta.setup_seconds == {"broadcast_ship": pytest.approx(0.1)}
+        # The source keeps accumulating, untouched by the snapshot.
+        assert counters.task_times("II") == [1.0, 2.0]
+
+    def test_empty_delta(self):
+        counters = Counters()
+        counters.record_task("II", TaskStats(0, 1.0))
+        counters.add_phase_time("II", 1.0)
+        delta = counters.since(counters.mark())
+        assert delta.phase_tasks == {}
+        assert delta.phase_seconds == {}
+        assert delta.total_seconds() == 0.0
+
+    def test_mark_on_fresh_counters(self):
+        counters = Counters()
+        mark = counters.mark()
+        counters.add_phase_time("I", 1.0)
+        delta = counters.since(mark)
+        assert delta.phase_seconds == {"I": pytest.approx(1.0)}
+
+
 class TestBreakdown:
     def test_fractions_sum_to_one(self):
         counters = Counters()

@@ -1,8 +1,12 @@
 """Unit tests for repro.engine.executors."""
 
+import operator
+import os
+
 import numpy as np
 import pytest
 
+from repro.engine import executors
 from repro.engine.executors import Engine
 
 
@@ -16,6 +20,32 @@ def add_broadcast(x, b):
 
 def touch_items(task):
     return len(task)
+
+
+def worker_pid(x):
+    return os.getpid()
+
+
+def read_worker_state(x, b):
+    """Expose the worker's broadcast-cache state for the epoch tests."""
+    return (
+        os.getpid(),
+        executors._WORKER_INSTALLS,
+        executors._WORKER_EPOCH,
+        b,
+    )
+
+
+def read_broadcast_flag(x, b):
+    return b["warmed"]
+
+
+def ignore_broadcast(x, b):
+    return x
+
+
+def set_warmed(b):
+    b["warmed"] = True
 
 
 class TestSerialEngine:
@@ -67,6 +97,143 @@ class TestProcessEngine:
         # One task short-circuits to the serial path (no pool overhead).
         engine = Engine("process", num_workers=4)
         assert engine.map_tasks(square, [3]) == [9]
+        assert engine.pools_created == 0
+
+
+class TestPersistentPool:
+    def test_one_pool_per_engine_lifetime(self):
+        with Engine("process", num_workers=2) as engine:
+            pids = set()
+            for phase in ("a", "b", "c"):
+                pids |= set(engine.map_tasks(worker_pid, list(range(6)), phase=phase))
+            assert engine.pools_created == 1
+            # Every phase is served by the same pool of <= 2 workers: no
+            # new processes appear between phases.
+            assert len(pids) <= 2
+            assert os.getpid() not in pids
+
+    def test_close_then_reuse_recreates_pool(self):
+        engine = Engine("process", num_workers=2)
+        engine.map_tasks(square, [1, 2, 3])
+        engine.close()
+        assert engine.map_tasks(square, [1, 2, 3]) == [1, 4, 9]
+        assert engine.pools_created == 2
+        engine.close()
+
+    def test_close_without_pool_is_noop(self):
+        Engine("process").close()
+        Engine("serial").close()
+
+    def test_context_manager_closes(self):
+        with Engine("process", num_workers=2) as engine:
+            engine.map_tasks(square, [1, 2, 3])
+        assert engine._pool is None
+
+    def test_worker_attribution_recorded(self):
+        with Engine("process", num_workers=2) as engine:
+            engine.map_tasks(square, list(range(6)), phase="p")
+            stats = engine.counters.phase_tasks["p"]
+            workers = {s.worker for s in stats}
+            assert all(isinstance(w, int) for w in workers)
+            assert engine.counters.worker_imbalance("p") >= 1.0
+
+    def test_pool_startup_in_setup_bucket_not_phase(self):
+        with Engine("process", num_workers=2) as engine:
+            engine.map_tasks(square, list(range(4)), phase="only-phase")
+            assert "pool_startup" in engine.counters.setup_seconds
+            assert set(engine.counters.phase_seconds) == {"only-phase"}
+            assert "pool_startup" not in engine.counters.breakdown()
+
+
+class TestBroadcastEpochs:
+    def test_distinct_broadcast_shipped_once_per_worker(self):
+        with Engine("process", num_workers=2) as engine:
+            b1 = {"value": 1}
+            out1 = engine.map_tasks(read_worker_state, [0, 1, 2, 3], broadcast=b1)
+            out2 = engine.map_tasks(read_worker_state, [0, 1, 2, 3], broadcast=b1)
+            assert engine.broadcast_ships == 1
+            # Every worker installed the broadcast exactly once and every
+            # task of both calls saw epoch 1.
+            for pid, installs, epoch, seen in out1 + out2:
+                assert installs == 1
+                assert epoch == 1
+                assert seen == {"value": 1}
+
+    def test_new_broadcast_bumps_epoch_and_invalidates_cache(self):
+        with Engine("process", num_workers=2) as engine:
+            out1 = engine.map_tasks(read_worker_state, [0, 1, 2], broadcast={"v": 1})
+            out2 = engine.map_tasks(read_worker_state, [0, 1, 2], broadcast={"v": 2})
+            assert engine.broadcast_ships == 2
+            assert engine.broadcast_epoch == 2
+            assert all(epoch == 1 and seen == {"v": 1} for _, _, epoch, seen in out1)
+            assert all(epoch == 2 and seen == {"v": 2} for _, _, epoch, seen in out2)
+            # Each worker re-installed once per distinct broadcast.
+            assert all(installs <= 2 for _, installs, _, _ in out2)
+
+    def test_broadcast_ship_recorded_as_setup(self):
+        with Engine("process", num_workers=2) as engine:
+            engine.map_tasks(add_broadcast, [1, 2, 3], broadcast=10, phase="p")
+            assert "broadcast_ship" in engine.counters.setup_seconds
+            assert engine.counters.setup_total() > 0.0
+
+    def test_reship_after_close(self):
+        with Engine("process", num_workers=2) as engine:
+            b = {"v": 7}
+            engine.map_tasks(read_worker_state, [0, 1, 2], broadcast=b)
+            engine.close()
+            out = engine.map_tasks(read_worker_state, [0, 1, 2], broadcast=b)
+            # A fresh pool has cold caches: the same value ships again.
+            assert engine.broadcast_ships == 2
+            assert all(seen == {"v": 7} for _, _, _, seen in out)
+
+
+class TestWarmup:
+    def test_process_warmup_runs_in_each_worker_before_tasks(self):
+        with Engine("process", num_workers=2) as engine:
+            flag = {"warmed": False}
+            out = engine.map_tasks(
+                read_broadcast_flag, [0, 1, 2, 3], broadcast=flag, warmup=set_warmed
+            )
+            # Workers mutate their own unpickled copy during install, so
+            # every task observes the warmed state; the driver's original
+            # is untouched.
+            assert out == [True, True, True, True]
+            assert flag["warmed"] is False
+            assert "warmup" in engine.counters.setup_seconds
+
+    def test_serial_warmup_runs_once_per_broadcast(self):
+        engine = Engine("serial")
+        calls = []
+        b1, b2 = {"v": 1}, {"v": 2}
+        engine.map_tasks(ignore_broadcast, [1], broadcast=b1, warmup=calls.append)
+        engine.map_tasks(ignore_broadcast, [2], broadcast=b1, warmup=calls.append)
+        engine.map_tasks(ignore_broadcast, [3], broadcast=b2, warmup=calls.append)
+        assert calls == [b1, b2]
+        assert "warmup" in engine.counters.setup_seconds
+
+    def test_warmup_excluded_from_phase_time(self):
+        import time as _time
+
+        engine = Engine("serial")
+        engine.map_tasks(
+            add_broadcast,
+            [1, 2],
+            broadcast=0,
+            phase="p",
+            warmup=lambda b: _time.sleep(0.05),
+        )
+        assert engine.counters.setup_seconds["warmup"] >= 0.05
+        assert engine.counters.phase_seconds["p"] < 0.05
+
+
+class TestSpawnSafety:
+    def test_spawn_start_method(self):
+        with Engine("process", num_workers=2, start_method="spawn") as engine:
+            out = engine.map_tasks(operator.add, [1, 2, 3, 4], broadcast=10)
+            assert out == [11, 12, 13, 14]
+            out = engine.map_tasks(operator.mul, [1, 2, 3, 4], broadcast=10)
+            assert out == [10, 20, 30, 40]
+            assert engine.broadcast_ships == 1
 
 
 class TestValidation:
@@ -94,3 +261,11 @@ class TestErrorPropagation:
         with pytest.raises(RuntimeError):
             engine.map_tasks(boom, [1], phase="doomed")
         assert "doomed" in engine.counters.phase_seconds
+
+    def test_process_task_error_propagates_and_pool_survives(self):
+        with Engine("process", num_workers=2) as engine:
+            with pytest.raises(RuntimeError, match="failed"):
+                engine.map_tasks(boom, [1, 2, 3])
+            # The persistent pool outlives a failed phase.
+            assert engine.map_tasks(square, [2, 3]) == [4, 9]
+            assert engine.pools_created == 1
