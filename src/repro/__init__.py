@@ -25,7 +25,7 @@ from repro.core import (
     RegionQueryEngine,
     RPDBSCANResult,
 )
-from repro.engine import Engine
+from repro.engine import Engine, FaultInjector, FaultPolicy
 
 __version__ = "1.0.0"
 
@@ -37,5 +37,7 @@ __all__ = [
     "RegionQueryEngine",
     "ClusterModel",
     "Engine",
+    "FaultPolicy",
+    "FaultInjector",
     "__version__",
 ]

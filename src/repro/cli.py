@@ -30,6 +30,7 @@ from repro.bench.reporting import format_table
 from repro.core.rp_dbscan import RPDBSCAN
 from repro.data.datasets import DATASETS
 from repro.data.io import load_points, save_labels, save_points
+from repro.engine import Engine, FaultInjector, FaultPolicy
 
 __all__ = ["main"]
 
@@ -57,22 +58,57 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_policy_from_args(args: argparse.Namespace) -> FaultPolicy | None:
+    """Build the opt-in fault policy the CLI flags describe (or None)."""
+    injector = None
+    if args.chaos_crash or args.chaos_delay or args.chaos_exception:
+        injector = FaultInjector(
+            crash_prob=args.chaos_crash,
+            delay_prob=args.chaos_delay,
+            exception_prob=args.chaos_exception,
+            delay_s=args.chaos_delay_s,
+            seed=args.chaos_seed,
+        )
+    if args.max_retries is None and args.task_timeout is None and injector is None:
+        return None
+    kwargs = {"injector": injector}
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.task_timeout is not None:
+        kwargs["task_timeout_s"] = args.task_timeout
+    return FaultPolicy(**kwargs)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     points = load_points(args.points)
-    model = RPDBSCAN(
-        eps=args.eps,
-        min_pts=args.min_pts,
-        num_partitions=args.partitions,
-        rho=args.rho,
-        seed=args.seed,
+    engine = Engine(
+        args.engine,
+        num_workers=args.workers,
+        fault_policy=_fault_policy_from_args(args),
     )
-    result = model.fit(points)
+    try:
+        model = RPDBSCAN(
+            eps=args.eps,
+            min_pts=args.min_pts,
+            num_partitions=args.partitions,
+            rho=args.rho,
+            seed=args.seed,
+            engine=engine,
+        )
+        result = model.fit(points)
+    finally:
+        engine.close()
     print(
         f"clusters={result.n_clusters} noise={result.noise_count} "
         f"core={int(result.core_mask.sum())} elapsed={result.total_seconds:.3f}s"
     )
     for phase, fraction in result.phase_breakdown().items():
         print(f"  {phase}: {fraction:.1%}")
+    if result.fault_events:
+        events = " ".join(
+            f"{kind}={count}" for kind, count in sorted(result.fault_events.items())
+        )
+        print(f"  fault recovery: {events}")
     if args.out:
         save_labels(args.out, result.labels)
         print(f"labels written to {args.out}")
@@ -153,6 +189,50 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("points", help="input .npy or .csv point file")
     _add_dbscan_args(cluster)
     cluster.add_argument("--out", help="optional label output path")
+    engine_group = cluster.add_argument_group("execution engine")
+    engine_group.add_argument(
+        "--engine",
+        choices=("serial", "process"),
+        default="serial",
+        help="task executor (default: serial)",
+    )
+    engine_group.add_argument(
+        "--workers", type=int, default=None, help="process-mode worker count"
+    )
+    engine_group.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="per-task retry budget (enables the fault-tolerant recovery loop)",
+    )
+    engine_group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task timeout in seconds (enables the recovery loop)",
+    )
+    chaos_group = cluster.add_argument_group(
+        "chaos testing (seeded fault injection; implies the recovery loop)"
+    )
+    chaos_group.add_argument(
+        "--chaos-crash", type=float, default=0.0,
+        help="probability an attempt kills its worker",
+    )
+    chaos_group.add_argument(
+        "--chaos-delay", type=float, default=0.0,
+        help="probability an attempt is delayed",
+    )
+    chaos_group.add_argument(
+        "--chaos-exception", type=float, default=0.0,
+        help="probability an attempt raises",
+    )
+    chaos_group.add_argument(
+        "--chaos-delay-s", type=float, default=0.1,
+        help="injected delay duration in seconds",
+    )
+    chaos_group.add_argument(
+        "--chaos-seed", type=int, default=0, help="fault-injection seed"
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     compare = sub.add_parser("compare", help="run all parallel algorithms")

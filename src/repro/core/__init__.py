@@ -42,6 +42,7 @@ from repro.core.prediction import ClusterModel
 from repro.core.region_query import CellBatchQueryResult, RegionQueryEngine
 from repro.core.serialization import deserialize_dictionary, serialize_dictionary
 from repro.core.rp_dbscan import (
+    EXACT_RHO,
     PHASE_CELL_GRAPH,
     PHASE_DICTIONARY,
     PHASE_LABEL,
@@ -55,6 +56,7 @@ from repro.core.rp_dbscan import (
 __all__ = [
     "RPDBSCAN",
     "RPDBSCANResult",
+    "EXACT_RHO",
     "CellGeometry",
     "h_for_rho",
     "CellDictionary",

@@ -38,10 +38,12 @@ from repro.core.merging import MergeStats, progressive_merge
 from repro.core.partitioning import Partition, pseudo_random_partition
 from repro.engine.counters import Counters
 from repro.engine.executors import Engine
+from repro.engine.faults import FaultPolicy
 
 __all__ = [
     "RPDBSCAN",
     "RPDBSCANResult",
+    "EXACT_RHO",
     "PHASE_PARTITION",
     "PHASE_DICTIONARY",
     "PHASE_CELL_GRAPH",
@@ -49,6 +51,15 @@ __all__ = [
     "PHASE_LABEL",
     "PHASES",
 ]
+
+#: ``rho=0`` requests the exact limit of the approximation.  A literal
+#: zero is not representable (the dictionary height ``h = 1 +
+#: ceil(log2(1/rho))`` diverges), so it aliases to the finest refinement
+#: whose sub-cell coordinates still fit the dictionary's uint16 layout:
+#: ``2**-16`` gives ``h = 17`` and a center-approximation error of at
+#: most ``eps * 2**-17`` per point — exact DBSCAN on any data whose
+#: pairwise distances do not sit within that sliver of ``eps``.
+EXACT_RHO = 2.0**-16
 
 PHASE_PARTITION = "I-1 partitioning"
 PHASE_DICTIONARY = "I-2 dictionary"
@@ -170,6 +181,13 @@ class RPDBSCANResult:
         return self.counters.setup_total()
 
     @property
+    def fault_events(self) -> dict[str, int]:
+        """Fault-recovery events of this run (retries, timeouts,
+        respawns, speculations) — counts, kept out of phase breakdowns
+        like the setup bucket.  Empty for a fault-free run."""
+        return dict(self.counters.fault_events)
+
+    @property
     def points_processed(self) -> int:
         """Total points processed across splits in local clustering.
 
@@ -197,7 +215,10 @@ class RPDBSCAN:
         Number of pseudo random partitions ``k`` (one engine task each).
     rho:
         Approximation parameter; ``0.01`` reproduces exact DBSCAN on the
-        paper's data sets (Table 4) and is the paper's default.
+        paper's data sets (Table 4) and is the paper's default.  ``0``
+        requests the exact limit and aliases to :data:`EXACT_RHO`
+        (``2**-16``, the finest refinement the dictionary's uint16
+        sub-cell coordinates can hold).
     seed:
         Seed for the partitioning RNG.
     engine:
@@ -212,6 +233,13 @@ class RPDBSCAN:
         ``"random_key"`` (paper) or ``"shuffle"``.
     candidate_strategy:
         Candidate-cell search: ``"auto"``, ``"enumerate"``, ``"kdtree"``.
+    fault_policy:
+        Optional :class:`~repro.engine.faults.FaultPolicy` installed on
+        the engine: parallel phases then run under the engine's recovery
+        loop (retries, timeouts, pool re-spawn, straggler speculation),
+        so one crashed or hung worker no longer kills the whole
+        ``fit()``.  Recovery events are reported in the result counters'
+        fault buckets, never in phase breakdowns.
     defragment_capacity:
         When set, the broadcast dictionary is defragmented into
         sub-dictionaries of at most this many entries (Sec 4.2.2) and
@@ -240,6 +268,7 @@ class RPDBSCAN:
         engine: Engine | None = None,
         partition_method: str = "random_key",
         candidate_strategy: str = "auto",
+        fault_policy: FaultPolicy | None = None,
         defragment_capacity: int | None = None,
     ) -> None:
         if eps <= 0:
@@ -251,18 +280,30 @@ class RPDBSCAN:
         self.eps = float(eps)
         self.min_pts = int(min_pts)
         self.num_partitions = int(num_partitions)
-        self.rho = float(rho)
+        self.rho = float(rho) if rho != 0 else EXACT_RHO
         self.seed = seed
         self.engine = engine if engine is not None else Engine("serial")
         self.partition_method = partition_method
         self.candidate_strategy = candidate_strategy
+        self.fault_policy = fault_policy
+        if fault_policy is not None:
+            self.engine.fault_policy = fault_policy
         self.defragment_capacity = defragment_capacity
 
     def fit(self, points: np.ndarray) -> RPDBSCANResult:
         """Cluster ``points`` and return the full result object."""
         pts = np.asarray(points, dtype=np.float64)
         if pts.ndim != 2:
-            raise ValueError("points must be a 2-d array of shape (n, d)")
+            raise ValueError(
+                f"points must be a 2-d array of shape (n, d), got shape "
+                f"{pts.shape}"
+            )
+        if pts.size and not np.isfinite(pts).all():
+            bad = int(np.count_nonzero(~np.isfinite(pts).all(axis=1)))
+            raise ValueError(
+                f"points contain NaN/inf coordinates in {bad} row(s); the "
+                "cell grid requires finite coordinates"
+            )
         n, dim = pts.shape
         # Counters accumulate for the engine's whole lifetime (it may be
         # shared across fits); snapshot here and report only this run's

@@ -17,6 +17,14 @@ provided by a small engine with two executors:
   startup, broadcast shipping, warm-up) is accounted in a dedicated
   ``engine.setup`` counter bucket, excluded from phase breakdowns.
 
+Fault tolerance is opt-in: construct the engine with a
+:class:`~repro.engine.faults.FaultPolicy` to get per-task retries with
+exponential backoff, task/phase timeouts, automatic pool re-spawn after
+a worker crash (broadcasts re-shipped under a fresh epoch), and
+straggler speculation — the safety net Spark gives the paper for free.
+A seeded :class:`~repro.engine.faults.FaultInjector` on the policy turns
+any executor into a chaos harness for testing that recovery machinery.
+
 For scalability experiments (Figs 15 and 20) the measured per-task
 durations are replayed through :func:`repro.engine.simulate.makespan`
 to compute the elapsed time a ``w``-worker cluster would achieve, which
@@ -25,6 +33,19 @@ reproduces the speed-up *shape* without 48 physical cores.
 
 from repro.engine.counters import DRIVER_WORKER, Counters, CountersMark, TaskStats
 from repro.engine.executors import Engine
+from repro.engine.faults import (
+    FAULT_RESPAWNS,
+    FAULT_RETRIES,
+    FAULT_SPECULATIONS,
+    FAULT_TIMEOUTS,
+    EngineClosedError,
+    FaultInjector,
+    FaultPolicy,
+    InjectedFault,
+    PhaseTimeoutError,
+    StaleBroadcastError,
+    TaskFailedError,
+)
 from repro.engine.simulate import PhaseSchedule, makespan, speedup_curve
 
 __all__ = [
@@ -33,6 +54,17 @@ __all__ = [
     "CountersMark",
     "TaskStats",
     "DRIVER_WORKER",
+    "FaultPolicy",
+    "FaultInjector",
+    "EngineClosedError",
+    "StaleBroadcastError",
+    "InjectedFault",
+    "TaskFailedError",
+    "PhaseTimeoutError",
+    "FAULT_RETRIES",
+    "FAULT_TIMEOUTS",
+    "FAULT_RESPAWNS",
+    "FAULT_SPECULATIONS",
     "makespan",
     "speedup_curve",
     "PhaseSchedule",

@@ -19,6 +19,12 @@ Two accounting rules keep the figures honest:
   its whole lifetime.  :meth:`Counters.mark` and :meth:`Counters.since`
   carve out the delta belonging to a single run so repeated ``fit()``
   calls report independent timings.
+* **Fault events.**  Recovery events of the fault-tolerant executor —
+  retries, task timeouts, pool re-spawns, speculative duplicates — are
+  *counts*, kept in :attr:`Counters.fault_events`.  Like the setup
+  bucket they never enter :meth:`Counters.breakdown` or
+  :meth:`Counters.total_seconds`: a chaos run reports the same phase
+  fractions as a calm one, plus an event ledger on the side.
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ class CountersMark:
     task_counts: dict[str, int]
     phase_seconds: dict[str, float]
     setup_seconds: dict[str, float]
+    fault_events: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -79,6 +86,11 @@ class Counters:
     #: ``"broadcast_ship"``, ``"warmup"``) — the ``engine.setup`` bucket,
     #: excluded from :meth:`breakdown` and :meth:`total_seconds`.
     setup_seconds: dict[str, float] = field(default_factory=dict)
+    #: Fault-recovery event counts by kind (``"retries"``,
+    #: ``"timeouts"``, ``"respawns"``, ``"speculations"``) — the
+    #: ``engine.retries``/``engine.timeouts``/``engine.respawns``
+    #: buckets.  Counts, not seconds; excluded from every timing view.
+    fault_events: dict[str, int] = field(default_factory=dict)
 
     def record_task(self, phase: str, stats: TaskStats) -> None:
         """Append one task's stats under ``phase``."""
@@ -93,6 +105,18 @@ class Counters:
         self.setup_seconds[category] = (
             self.setup_seconds.get(category, 0.0) + seconds
         )
+
+    def add_fault_event(self, kind: str, count: int = 1) -> None:
+        """Count ``count`` fault-recovery events of ``kind``."""
+        self.fault_events[kind] = self.fault_events.get(kind, 0) + count
+
+    def fault_event_count(self, kind: str) -> int:
+        """Number of fault-recovery events recorded under ``kind``."""
+        return self.fault_events.get(kind, 0)
+
+    def fault_total(self) -> int:
+        """Total fault-recovery events of every kind."""
+        return sum(self.fault_events.values())
 
     @contextmanager
     def timed_phase(self, phase: str):
@@ -190,6 +214,7 @@ class Counters:
             task_counts={p: len(ts) for p, ts in self.phase_tasks.items()},
             phase_seconds=dict(self.phase_seconds),
             setup_seconds=dict(self.setup_seconds),
+            fault_events=dict(self.fault_events),
         )
 
     def since(self, mark: CountersMark) -> Counters:
@@ -213,4 +238,8 @@ class Counters:
             diff = seconds - mark.setup_seconds.get(category, 0.0)
             if diff > 0.0:
                 delta.setup_seconds[category] = diff
+        for kind, count in self.fault_events.items():
+            diff = count - mark.fault_events.get(kind, 0)
+            if diff > 0:
+                delta.fault_events[kind] = diff
         return delta

@@ -13,7 +13,10 @@ Process-mode semantics (matching Spark's executor model):
   on the first parallel ``map_tasks`` call and then reused by every
   subsequent phase and every subsequent ``fit()`` that shares the
   engine.  Use the engine as a context manager (``with Engine("process")
-  as e: ...``) or call :meth:`Engine.close` to release the workers.
+  as e: ...``) or call :meth:`Engine.close` to release the workers;
+  ``close()`` is idempotent and permanent — mapping on a closed engine
+  fails with :class:`~repro.engine.faults.EngineClosedError` instead of
+  silently resurrecting workers.
 * **Epoch-tagged broadcast caching.**  Each distinct broadcast value is
   shipped to each worker exactly once, via a barrier fan-out that lands
   one install task on every worker.  An epoch counter tags the installed
@@ -31,16 +34,42 @@ Process-mode semantics (matching Spark's executor model):
   (:attr:`~repro.engine.counters.Counters.setup_seconds`), outside every
   phase timer, so Fig 12/13 reproductions are not polluted by one-time
   engine overhead.
+* **Fault tolerance (opt-in).**  Constructing the engine with a
+  :class:`~repro.engine.faults.FaultPolicy` swaps the parallel path for
+  a driver-side recovery loop: per-task retries with exponential
+  backoff, per-task and per-phase timeouts, a worker-death watchdog
+  that re-spawns the pool (re-shipping broadcasts under a fresh epoch),
+  and straggler detection with speculative re-execution — the Spark
+  safety net the paper's substrate provides for free.  Recovery events
+  land in the counters' fault buckets (``engine.retries``,
+  ``engine.timeouts``, ``engine.respawns``, ``engine.speculations``)
+  and, like setup time, never enter phase breakdowns.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
+import statistics
 import time
+from collections import deque
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from repro.engine.counters import DRIVER_WORKER, Counters, TaskStats
+from repro.engine.faults import (
+    FAULT_RESPAWNS,
+    FAULT_RETRIES,
+    FAULT_SPECULATIONS,
+    FAULT_TIMEOUTS,
+    EngineClosedError,
+    FaultInjector,
+    FaultPolicy,
+    PhaseTimeoutError,
+    StaleBroadcastError,
+    TaskFailedError,
+)
 
 __all__ = ["Engine"]
 
@@ -97,15 +126,21 @@ def _install_broadcast(
 
 
 def _run_task(
-    payload: tuple[Callable[..., Any], int, Any, int | None],
+    payload: tuple[
+        Callable[..., Any], int, Any, int | None, str, int, FaultInjector | None
+    ],
 ) -> tuple[int, Any, float, int]:
-    fn, task_id, task, epoch = payload
+    fn, task_id, task, epoch, phase, attempt, injector = payload
+    if injector is not None:
+        # Chaos happens before the task timer starts: an injected delay
+        # models infrastructure slowness, not task compute.
+        injector.apply(phase, task_id, attempt, allow_crash=True)
     start = time.perf_counter()
     if epoch is None:
         result = fn(task)
     else:
         if _WORKER_EPOCH != epoch:
-            raise RuntimeError(
+            raise StaleBroadcastError(
                 f"stale broadcast in worker {os.getpid()}: cached epoch "
                 f"{_WORKER_EPOCH}, task expects {epoch}"
             )
@@ -121,6 +156,17 @@ def _default_start_method() -> str:
     # fork is fastest where safe; Windows (and notably macOS since 3.8's
     # default flip) wants spawn.  Everything here is spawn-safe anyway.
     return "fork" if os.name == "posix" else "spawn"
+
+
+@dataclass
+class _Flight:
+    """Driver-side record of one in-flight task attempt."""
+
+    task_id: int
+    attempt: int
+    submitted_at: float
+    async_result: Any
+    timed_out: bool = False
 
 
 class Engine:
@@ -139,13 +185,24 @@ class Engine:
         ``"spawn"``); defaults per platform.  The engine is spawn-safe:
         all worker entry points are module-level functions and the
         rendezvous barrier is shipped through the pool initializer.
+    fault_policy:
+        Optional :class:`~repro.engine.faults.FaultPolicy`.  When set,
+        parallel ``map_tasks`` calls run under a recovery loop (retries,
+        timeouts, pool re-spawn, speculation) and inline calls retry
+        failed tasks with backoff; the policy's
+        :class:`~repro.engine.faults.FaultInjector`, if any, wraps every
+        task attempt in every mode.  Without a policy the engine keeps
+        the zero-overhead fast path, where a single task failure fails
+        the phase.
 
     Notes
     -----
     In ``process`` mode the engine owns a persistent worker pool.  It is
     created lazily by the first parallel :meth:`map_tasks` call and
-    reused until :meth:`close` (also invoked by ``with``-exit).  Calling
-    :meth:`map_tasks` after ``close()`` simply recreates the pool.
+    reused until :meth:`close` (also invoked by ``with``-exit).
+    ``close()`` is idempotent and final: later :meth:`map_tasks` calls
+    raise :class:`~repro.engine.faults.EngineClosedError` rather than
+    resurrecting a pool behind the caller's back.
 
     Diagnostics useful for tests and benches: :attr:`pools_created`
     counts pool startups over the engine's lifetime and
@@ -160,6 +217,7 @@ class Engine:
         counters: Counters | None = None,
         *,
         start_method: str | None = None,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         if mode not in ("serial", "process"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -169,11 +227,14 @@ class Engine:
         self.num_workers = num_workers if num_workers is not None else _default_workers()
         self.counters = counters if counters is not None else Counters()
         self.start_method = start_method if start_method is not None else _default_start_method()
+        self.fault_policy = fault_policy
         # Persistent-pool state.
         self._pool: Any = None
         self._barrier: Any = None
+        self._worker_pids: set[int] | None = None
         self._shipped_broadcast: Any = _NOTHING
         self._shipped_epoch = 0
+        self._closed = False
         # Serial-mode warm-up dedup (same identity semantics as shipping).
         self._warmed_broadcast: Any = _NOTHING
         # Lifetime diagnostics.
@@ -190,19 +251,35 @@ class Engine:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def close(self) -> None:
-        """Shut down the worker pool (no-op in serial mode / if unused).
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
-        The engine stays usable: a later :meth:`map_tasks` lazily starts
-        a fresh pool (and re-ships broadcasts, since the new workers
-        start with cold caches).
+    def close(self) -> None:
+        """Shut down the engine; idempotent, safe to call at any time.
+
+        Uses ``terminate`` rather than a graceful ``close``/``join`` so
+        that closing cannot hang on workers stuck in a crashed or
+        abandoned phase.  After ``close()`` the engine refuses new work
+        (:class:`~repro.engine.faults.EngineClosedError`) — callers that
+        want more parallel maps should build a fresh :class:`Engine`.
         """
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-            self._barrier = None
-            self._shipped_broadcast = _NOTHING
+        self._closed = True
+        self._teardown_pool()
+
+    def _teardown_pool(self) -> None:
+        """Release the pool (if any) and reset broadcast-cache state."""
+        pool, self._pool = self._pool, None
+        self._barrier = None
+        self._worker_pids = None
+        self._shipped_broadcast = _NOTHING
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
 
     def __del__(self) -> None:
         pool = getattr(self, "_pool", None)
@@ -226,7 +303,33 @@ class Engine:
                 )
             self.pools_created += 1
             self._shipped_broadcast = _NOTHING
+            self._worker_pids = self._snapshot_worker_pids()
         return self._pool
+
+    def _snapshot_worker_pids(self) -> set[int] | None:
+        procs = getattr(self._pool, "_pool", None)
+        if procs is None:
+            return None
+        return {p.pid for p in procs}
+
+    def _pool_damaged(self) -> bool:
+        """Did a worker die (or get replaced) since pool creation?
+
+        ``multiprocessing.Pool`` silently replaces crashed workers, but
+        the replacements miss our broadcast cache and the crashed task's
+        result is lost forever — both repaired by a full re-spawn.  The
+        check reads the pool's worker list; if that private attribute
+        ever disappears, the :class:`StaleBroadcastError` raised by a
+        replacement worker still triggers the same re-spawn path.
+        """
+        if self._pool is None or self._worker_pids is None:
+            return False
+        procs = getattr(self._pool, "_pool", None)
+        if procs is None:
+            return False
+        if any(p.exitcode is not None for p in procs):
+            return True
+        return {p.pid for p in procs} != self._worker_pids
 
     @property
     def broadcast_epoch(self) -> int:
@@ -278,7 +381,17 @@ class Engine:
         -------
         list
             Results in task order.
+
+        Raises
+        ------
+        EngineClosedError
+            If :meth:`close` was called; a closed engine fails new work
+            cleanly instead of resurrecting its pool.
         """
+        if self._closed:
+            raise EngineClosedError(
+                "map_tasks on a closed Engine; construct a new Engine instead"
+            )
         wants_broadcast = broadcast is not None
         results: list[Any] = [None] * len(tasks)
         if self.mode == "process" and len(tasks) > 1:
@@ -289,8 +402,19 @@ class Engine:
             if wants_broadcast:
                 self._ship_broadcast(broadcast, warmup)
                 epoch = self._shipped_epoch
+            if self.fault_policy is not None:
+                return self._map_with_recovery(
+                    fn,
+                    tasks,
+                    broadcast=broadcast,
+                    wants_broadcast=wants_broadcast,
+                    warmup=warmup,
+                    phase=phase,
+                    item_counter=item_counter,
+                )
             payloads = [
-                (fn, task_id, task, epoch) for task_id, task in enumerate(tasks)
+                (fn, task_id, task, epoch, phase, 0, None)
+                for task_id, task in enumerate(tasks)
             ]
             with self.counters.timed_phase(phase):
                 for task_id, result, elapsed, pid in pool.imap_unordered(
@@ -303,6 +427,12 @@ class Engine:
                 self._warm_inline(broadcast, warmup)
             with self.counters.timed_phase(phase):
                 for task_id, task in enumerate(tasks):
+                    if self.fault_policy is not None:
+                        results[task_id] = self._run_inline_with_retries(
+                            fn, task_id, task, broadcast, wants_broadcast,
+                            phase, item_counter,
+                        )
+                        continue
                     start = time.perf_counter()
                     result = fn(task, broadcast) if wants_broadcast else fn(task)
                     elapsed = time.perf_counter() - start
@@ -311,6 +441,281 @@ class Engine:
                         phase, task_id, task, elapsed, item_counter, DRIVER_WORKER
                     )
         return results
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant execution
+    # ------------------------------------------------------------------
+
+    def _run_inline_with_retries(
+        self,
+        fn: Callable[..., Any],
+        task_id: int,
+        task: Any,
+        broadcast: Any,
+        wants_broadcast: bool,
+        phase: str,
+        item_counter: Callable[[Any], int] | None,
+    ) -> Any:
+        """Inline (driver-side) execution under the retry policy.
+
+        Timeouts and speculation need preemption, which inline execution
+        cannot do, so only the retry/backoff part of the policy applies;
+        injected crashes degrade to exceptions (the driver must live).
+        """
+        policy = self.fault_policy
+        injector = policy.injector
+        failures = 0
+        while True:
+            start = time.perf_counter()
+            try:
+                if injector is not None:
+                    injector.apply(phase, task_id, failures, allow_crash=False)
+                    start = time.perf_counter()
+                result = fn(task, broadcast) if wants_broadcast else fn(task)
+            except Exception as exc:
+                failures += 1
+                if failures > policy.max_retries:
+                    raise TaskFailedError(
+                        f"task {task_id} of phase {phase!r} failed "
+                        f"{failures} attempts (retry budget {policy.max_retries})"
+                    ) from exc
+                self.counters.add_fault_event(FAULT_RETRIES)
+                time.sleep(policy.backoff(failures))
+                continue
+            elapsed = time.perf_counter() - start
+            self._record(phase, task_id, task, elapsed, item_counter, DRIVER_WORKER)
+            return result
+
+    def _map_with_recovery(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Any],
+        *,
+        broadcast: Any,
+        wants_broadcast: bool,
+        warmup: Callable[[Any], Any] | None,
+        phase: str,
+        item_counter: Callable[[Any], int] | None,
+    ) -> list[Any]:
+        """The driver-side recovery loop (process mode, ``len(tasks) > 1``).
+
+        Admission control keeps at most ``num_workers`` attempts in the
+        pool, so an attempt's age measures *execution* time, not
+        pool-queue time — without it, attempts queued behind a slow
+        worker would burn their retry budget before ever running.  The
+        loop then polls: reaps completions, retries failures with
+        backoff, abandons attempts that exceed the task timeout (the
+        abandoned attempt keeps racing its retry — first completion
+        wins — but holds its worker slot, since that worker really is
+        busy), re-spawns the pool when a worker died, and launches
+        speculative duplicates for stragglers on free slots.  Phase time
+        excludes re-spawn overhead, which is accounted as engine setup.
+        """
+        policy = self.fault_policy
+        injector = policy.injector
+        n = len(tasks)
+        results: list[Any] = [None] * n
+        done = [False] * n
+        launches = [0] * n        # attempt index, keeps injector draws unique
+        failures = [0] * n        # failures charged against the retry budget
+        speculated = [False] * n
+        flights: list[_Flight] = []
+        #: Launch queue: ``(task_id, kind)`` with kind one of
+        #: ``"initial"``/``"retry"``/``"respawn"``/``"speculation"`` —
+        #: fault events are counted when an entry actually launches.
+        ready: deque[tuple[int, str]] = deque(
+            (task_id, "initial") for task_id in range(n)
+        )
+        retry_heap: list[tuple[float, int, int]] = []  # (due, seq, task_id)
+        retry_seq = 0
+        durations: list[float] = []
+        completed = 0
+        respawns = 0
+        epoch = self._shipped_epoch if wants_broadcast else None
+        start = time.perf_counter()
+        recovery_setup = 0.0      # mid-phase respawn wall, accounted as setup
+
+        def launch_ready() -> bool:
+            """Fill free worker slots from the launch queue."""
+            launched = False
+            while ready and len(flights) < self.num_workers:
+                task_id, kind = ready.popleft()
+                if done[task_id]:
+                    continue
+                if kind == "retry":
+                    self.counters.add_fault_event(FAULT_RETRIES)
+                elif kind == "speculation":
+                    self.counters.add_fault_event(FAULT_SPECULATIONS)
+                attempt = launches[task_id]
+                launches[task_id] += 1
+                payload = (
+                    fn, task_id, tasks[task_id], epoch, phase, attempt, injector
+                )
+                flights.append(
+                    _Flight(
+                        task_id,
+                        attempt,
+                        time.perf_counter(),
+                        self._pool.apply_async(_run_task, (payload,)),
+                    )
+                )
+                launched = True
+            return launched
+
+        def racing_attempts(task_id: int) -> int:
+            """Attempts that could still complete this task: in flight
+            (timed-out ones keep racing their retry) or queued."""
+            return sum(1 for f in flights if f.task_id == task_id) + sum(
+                1 for tid, _ in ready if tid == task_id
+            )
+
+        def fail_attempt(task_id: int, exc: BaseException) -> None:
+            nonlocal retry_seq
+            if done[task_id]:
+                return
+            failures[task_id] += 1
+            if failures[task_id] > policy.max_retries:
+                if racing_attempts(task_id) > 0:
+                    return  # a racing attempt may still save the task
+                raise TaskFailedError(
+                    f"task {task_id} of phase {phase!r} failed "
+                    f"{failures[task_id]} attempts "
+                    f"(retry budget {policy.max_retries})"
+                ) from exc
+            retry_seq += 1
+            heapq.heappush(
+                retry_heap,
+                (
+                    time.perf_counter() + policy.backoff(failures[task_id]),
+                    retry_seq,
+                    task_id,
+                ),
+            )
+
+        def respawn(reason: str) -> None:
+            nonlocal respawns, recovery_setup, epoch
+            respawns += 1
+            if respawns > policy.max_respawns:
+                raise TaskFailedError(
+                    f"pool re-spawn budget ({policy.max_respawns}) exhausted "
+                    f"during phase {phase!r}: {reason}"
+                )
+            t0 = time.perf_counter()
+            with self.counters.timed_setup("respawn_teardown"):
+                self._teardown_pool()
+            self._ensure_pool()
+            if wants_broadcast:
+                self._ship_broadcast(broadcast, warmup)
+                epoch = self._shipped_epoch
+            recovery_setup += time.perf_counter() - t0
+            self.counters.add_fault_event(FAULT_RESPAWNS)
+            flights.clear()
+            retry_heap.clear()
+            ready.clear()
+            ready.extend(
+                (task_id, "respawn") for task_id in range(n) if not done[task_id]
+            )
+
+        try:
+            while completed < n:
+                now = time.perf_counter()
+                if (
+                    policy.phase_timeout_s is not None
+                    and now - start - recovery_setup > policy.phase_timeout_s
+                ):
+                    self.counters.add_fault_event(FAULT_TIMEOUTS)
+                    raise PhaseTimeoutError(
+                        f"phase {phase!r} exceeded its "
+                        f"{policy.phase_timeout_s}s budget "
+                        f"({completed}/{n} tasks done)"
+                    )
+                if self._pool_damaged():
+                    respawn("a worker process died")
+                    launch_ready()
+                    continue
+                progressed = launch_ready()
+                for flight in list(flights):
+                    if flight.async_result.ready():
+                        flights.remove(flight)
+                        progressed = True
+                        try:
+                            task_id, result, elapsed, pid = flight.async_result.get()
+                        except StaleBroadcastError:
+                            # A silently-replaced worker ran with a cold
+                            # cache; re-spawn invalidates every flight,
+                            # so restart the scan from the fresh state.
+                            respawn("replacement worker had a cold broadcast cache")
+                            break
+                        except Exception as exc:
+                            fail_attempt(flight.task_id, exc)
+                        else:
+                            if not done[task_id]:
+                                done[task_id] = True
+                                completed += 1
+                                results[task_id] = result
+                                durations.append(elapsed)
+                                self._record(
+                                    phase, task_id, tasks[task_id],
+                                    elapsed, item_counter, pid,
+                                )
+                    elif (
+                        policy.task_timeout_s is not None
+                        and not flight.timed_out
+                        and now - flight.submitted_at > policy.task_timeout_s
+                    ):
+                        # Abandon, but keep listening: if the slow
+                        # original finishes before its retry, it wins.
+                        flight.timed_out = True
+                        progressed = True
+                        if done[flight.task_id]:
+                            continue
+                        self.counters.add_fault_event(FAULT_TIMEOUTS)
+                        fail_attempt(
+                            flight.task_id,
+                            TimeoutError(
+                                f"task {flight.task_id} attempt "
+                                f"{flight.attempt} exceeded "
+                                f"{policy.task_timeout_s}s"
+                            ),
+                        )
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, _, task_id = heapq.heappop(retry_heap)
+                    if not done[task_id]:
+                        ready.append((task_id, "retry"))
+                        progressed = True
+                if (
+                    policy.speculative
+                    and durations
+                    and not ready
+                    and len(flights) < self.num_workers
+                    and completed >= max(policy.speculation_min_done, (n + 1) // 2)
+                ):
+                    median = statistics.median(durations)
+                    threshold = max(
+                        policy.straggler_factor * median,
+                        policy.straggler_min_wait_s,
+                    )
+                    for flight in list(flights):
+                        task_id = flight.task_id
+                        if done[task_id] or speculated[task_id] or flight.timed_out:
+                            continue
+                        if now - flight.submitted_at > threshold:
+                            speculated[task_id] = True
+                            ready.append((task_id, "speculation"))
+                            progressed = True
+                if progressed:
+                    launch_ready()
+                else:
+                    time.sleep(policy.poll_interval_s)
+        finally:
+            self.counters.add_phase_time(
+                phase, time.perf_counter() - start - recovery_setup
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Broadcast shipping
+    # ------------------------------------------------------------------
 
     def _ship_broadcast(
         self, broadcast: Any, warmup: Callable[[Any], Any] | None

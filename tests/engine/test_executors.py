@@ -112,17 +112,45 @@ class TestPersistentPool:
             assert len(pids) <= 2
             assert os.getpid() not in pids
 
-    def test_close_then_reuse_recreates_pool(self):
+    def test_close_is_final_and_fails_tasks_cleanly(self):
+        from repro.engine import EngineClosedError
+
         engine = Engine("process", num_workers=2)
         engine.map_tasks(square, [1, 2, 3])
         engine.close()
-        assert engine.map_tasks(square, [1, 2, 3]) == [1, 4, 9]
-        assert engine.pools_created == 2
+        assert engine.closed
+        with pytest.raises(EngineClosedError):
+            engine.map_tasks(square, [1, 2, 3])
+        # The refusal must not have resurrected the pool.
+        assert engine.pools_created == 1
+        assert engine._pool is None
+
+    def test_double_close_is_idempotent(self):
+        engine = Engine("process", num_workers=2)
+        engine.map_tasks(square, [1, 2, 3])
         engine.close()
+        engine.close()  # second close (or __exit__ after close) is a no-op
+        assert engine.closed
+
+    def test_del_after_close_is_safe(self):
+        engine = Engine("process", num_workers=2)
+        engine.map_tasks(square, [1, 2])
+        engine.close()
+        engine.__del__()  # simulate GC after explicit close
 
     def test_close_without_pool_is_noop(self):
         Engine("process").close()
         Engine("serial").close()
+
+    def test_close_after_failed_map_does_not_hang(self):
+        # A crashed phase used to leave the pool in a state where
+        # close() could block on stuck workers; terminate-based close
+        # must return promptly and keep the engine consistent.
+        engine = Engine("process", num_workers=2)
+        with pytest.raises(RuntimeError):
+            engine.map_tasks(boom, [1, 2, 3])
+        engine.close()
+        assert engine._pool is None
 
     def test_context_manager_closes(self):
         with Engine("process", num_workers=2) as engine:
@@ -176,14 +204,16 @@ class TestBroadcastEpochs:
             assert "broadcast_ship" in engine.counters.setup_seconds
             assert engine.counters.setup_total() > 0.0
 
-    def test_reship_after_close(self):
-        with Engine("process", num_workers=2) as engine:
-            b = {"v": 7}
-            engine.map_tasks(read_worker_state, [0, 1, 2], broadcast=b)
-            engine.close()
-            out = engine.map_tasks(read_worker_state, [0, 1, 2], broadcast=b)
-            # A fresh pool has cold caches: the same value ships again.
-            assert engine.broadcast_ships == 2
+    def test_fresh_engine_has_cold_caches(self):
+        # Pool caches die with the engine: the same broadcast object
+        # ships again on a new engine (per-engine epochs, no leakage).
+        b = {"v": 7}
+        with Engine("process", num_workers=2) as first:
+            first.map_tasks(read_worker_state, [0, 1, 2], broadcast=b)
+            assert first.broadcast_ships == 1
+        with Engine("process", num_workers=2) as second:
+            out = second.map_tasks(read_worker_state, [0, 1, 2], broadcast=b)
+            assert second.broadcast_ships == 1
             assert all(seen == {"v": 7} for _, _, _, seen in out)
 
 

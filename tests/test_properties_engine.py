@@ -1,0 +1,185 @@
+"""Property-based equivalence suite for the execution engines.
+
+Seeded random datasets crossed with an ``(eps, min_pts)`` grid and
+several worker counts.  For every configuration, the process executor —
+with and without injected faults — must produce exactly the same cluster
+*partition* as the serial executor: identical noise points and a
+bijection between cluster ids (labels may legitimately be permuted by a
+different merge order, nothing more).
+
+Everything is seeded: datasets come from ``numpy``'s ``default_rng`` and
+the chaos source is a deterministic :class:`FaultInjector`, so a failure
+here replays exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PHASES, RPDBSCAN
+from repro.engine import Engine, FaultInjector, FaultPolicy
+
+NUM_PARTITIONS = 6
+
+#: (dataset_seed, eps, min_pts) grid.  Radii/densities are chosen so the
+#: grid spans all-noise, few-big-clusters, and many-small-clusters
+#: regimes over the random datasets below.
+GRID = [
+    (0, 0.25, 5),
+    (0, 0.45, 12),
+    (1, 0.25, 5),
+    (1, 0.45, 12),
+    (2, 0.30, 8),
+    (3, 0.30, 8),
+]
+
+WORKER_COUNTS = [2, 3]
+
+
+def random_dataset(seed: int) -> np.ndarray:
+    """A seeded random mixture: 1-3 blobs plus uniform background."""
+    rng = np.random.default_rng(seed)
+    parts = [
+        rng.normal(
+            rng.uniform(-4.0, 4.0, 2),
+            rng.uniform(0.08, 0.35),
+            (int(rng.integers(80, 180)), 2),
+        )
+        for _ in range(int(rng.integers(1, 4)))
+    ]
+    parts.append(rng.uniform(-5.0, 5.0, (int(rng.integers(20, 60)), 2)))
+    return np.concatenate(parts)
+
+
+def assert_same_partition(a: np.ndarray, b: np.ndarray) -> None:
+    """Assert two labelings describe the same partition.
+
+    Noise must agree exactly; cluster ids must map 1:1 (a bijection), so
+    neither side splits or merges a cluster of the other.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    assert a.shape == b.shape
+    np.testing.assert_array_equal(a == -1, b == -1)
+    forward: dict[int, int] = {}
+    backward: dict[int, int] = {}
+    for x, y in zip(a.tolist(), b.tolist()):
+        if x == -1:
+            continue
+        assert forward.setdefault(x, y) == y, f"cluster {x} split across {forward[x]}, {y}"
+        assert backward.setdefault(y, x) == x, f"clusters {backward[y]}, {x} merged into {y}"
+
+
+class TestPartitionChecker:
+    """Keep the oracle-helper honest before trusting it below."""
+
+    def test_accepts_relabeling(self):
+        assert_same_partition([0, 0, 1, -1, 2], [5, 5, 3, -1, 0])
+
+    def test_rejects_noise_disagreement(self):
+        with pytest.raises(AssertionError):
+            assert_same_partition([0, 0, -1], [0, 0, 0])
+
+    def test_rejects_split_cluster(self):
+        with pytest.raises(AssertionError):
+            assert_same_partition([0, 0, 0], [1, 1, 2])
+
+    def test_rejects_merged_clusters(self):
+        with pytest.raises(AssertionError):
+            assert_same_partition([0, 0, 1], [2, 2, 2])
+
+
+@pytest.fixture(scope="module")
+def process_engines():
+    """One persistent pool per worker count, shared across the grid."""
+    engines: dict[int, Engine] = {}
+
+    def get(workers: int) -> Engine:
+        if workers not in engines:
+            engines[workers] = Engine("process", num_workers=workers)
+        return engines[workers]
+
+    yield get
+    for engine in engines.values():
+        engine.close()
+
+
+def _chaos_injector() -> FaultInjector:
+    """Exception-only chaos whose decision table (which is shared by
+    every fit, since phase names and task ids repeat) injects at least
+    one attempt-0 fault and leaves every retry attempt clean."""
+    parallel_phases = [p for p in PHASES if p not in ("I-1 partitioning", "III-1 merging")]
+    for seed in range(100_000):
+        inj = FaultInjector(exception_prob=0.1, seed=seed)
+        hit = any(
+            inj.decide(p, t, 0).exception
+            for p in parallel_phases
+            for t in range(NUM_PARTITIONS)
+        )
+        clean = all(
+            not inj.decide(p, t, a).any
+            for p in parallel_phases
+            for t in range(NUM_PARTITIONS)
+            for a in (1, 2, 3)
+        )
+        if hit and clean:
+            return inj
+    pytest.fail("no suitable chaos seed found")
+
+
+@pytest.fixture(scope="module")
+def chaos_engine():
+    policy = FaultPolicy(
+        max_retries=6, backoff_base_s=0.001, speculative=False, injector=_chaos_injector()
+    )
+    with Engine("process", num_workers=2, fault_policy=policy) as engine:
+        yield engine
+
+
+def _serial_labels(points: np.ndarray, eps: float, min_pts: int) -> np.ndarray:
+    return (
+        RPDBSCAN(eps=eps, min_pts=min_pts, num_partitions=NUM_PARTITIONS, seed=0)
+        .fit(points)
+        .labels
+    )
+
+
+class TestProcessSerialEquivalence:
+    @pytest.mark.parametrize("dataset_seed,eps,min_pts", GRID)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_process_matches_serial(
+        self, process_engines, dataset_seed, eps, min_pts, workers
+    ):
+        points = random_dataset(dataset_seed)
+        serial = _serial_labels(points, eps, min_pts)
+        parallel = RPDBSCAN(
+            eps=eps,
+            min_pts=min_pts,
+            num_partitions=NUM_PARTITIONS,
+            seed=0,
+            engine=process_engines(workers),
+        ).fit(points)
+        assert_same_partition(serial, parallel.labels)
+
+
+class TestChaosEquivalence:
+    @pytest.mark.parametrize("dataset_seed,eps,min_pts", GRID[:4])
+    def test_faulty_process_matches_serial(
+        self, chaos_engine, dataset_seed, eps, min_pts
+    ):
+        points = random_dataset(dataset_seed)
+        serial = _serial_labels(points, eps, min_pts)
+        before = chaos_engine.counters.fault_total()
+        chaotic = RPDBSCAN(
+            eps=eps,
+            min_pts=min_pts,
+            num_partitions=NUM_PARTITIONS,
+            seed=0,
+            engine=chaos_engine,
+        ).fit(points)
+        assert_same_partition(serial, chaotic.labels)
+        # The injector's decision table is identical for every fit
+        # (phase names and task ids repeat), and it was chosen to fire
+        # at attempt 0 — so every fit must both inject and recover.
+        assert chaos_engine.counters.fault_total() > before
