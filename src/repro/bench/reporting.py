@@ -12,7 +12,14 @@ import math
 from collections.abc import Sequence
 from typing import Any
 
-__all__ = ["format_cell", "format_table", "render_ascii_scatter", "render_stacked_bars"]
+__all__ = [
+    "format_cell",
+    "format_duration",
+    "format_table",
+    "render_ascii_scatter",
+    "render_stacked_bars",
+    "render_utilization_bar",
+]
 
 
 def format_cell(value: Any) -> str:
@@ -31,6 +38,33 @@ def format_cell(value: Any) -> str:
             return f"{value:.1f}"
         return f"{value:.3f}"
     return str(value)
+
+
+def format_duration(seconds: float) -> str:
+    """Adaptive duration: µs/ms below a second, ``m s`` above a minute.
+
+    Used by tables whose rows span orders of magnitude (e.g. the run
+    report's phase breakdown, where a driver merge of 80 µs sits next
+    to a 12 s clustering phase).
+    """
+    if seconds != seconds:  # NaN
+        return "N/A"
+    magnitude = abs(seconds)
+    if magnitude < 0.001:
+        return f"{seconds * 1e6:.0f}µs"
+    if magnitude < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if magnitude < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:04.1f}s"
+
+
+def render_utilization_bar(fraction: float, *, width: int = 24) -> str:
+    """A ``|####....|`` busy-fraction bar for per-worker utilization."""
+    fraction = min(max(float(fraction), 0.0), 1.0)
+    filled = round(fraction * width)
+    return "|" + "#" * filled + "." * (width - filled) + "|"
 
 
 def format_table(

@@ -18,6 +18,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from datetime import datetime, timezone
+
 from repro.baselines import (
     CBPDBSCAN,
     ESPDBSCAN,
@@ -31,6 +33,13 @@ from repro.core.rp_dbscan import RPDBSCAN
 from repro.data.datasets import DATASETS
 from repro.data.io import load_points, save_labels, save_points
 from repro.engine import Engine, FaultInjector, FaultPolicy
+from repro.obs import (
+    EVENT_RESPAWN,
+    TRACE_FORMATS,
+    Tracer,
+    render_run_report,
+    write_trace,
+)
 
 __all__ = ["main"]
 
@@ -81,10 +90,16 @@ def _fault_policy_from_args(args: argparse.Namespace) -> FaultPolicy | None:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     points = load_points(args.points)
+    # Tracing is always on for the CLI (the overhead is negligible next
+    # to process startup) so the fault ledger can show wall-clock
+    # respawn times even when no --trace file was requested.
+    tracer = Tracer()
     engine = Engine(
         args.engine,
         num_workers=args.workers,
         fault_policy=_fault_policy_from_args(args),
+        tracer=tracer,
+        profile=bool(args.profile),
     )
     try:
         model = RPDBSCAN(
@@ -109,6 +124,24 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"{kind}={count}" for kind, count in sorted(result.fault_events.items())
         )
         print(f"  fault recovery: {events}")
+        for span in tracer.events(EVENT_RESPAWN):
+            stamp = datetime.fromtimestamp(span.wall_start_s, tz=timezone.utc)
+            reason = span.annotations.get("reason", "worker lost")
+            print(
+                f"    respawn at {stamp.strftime('%H:%M:%S.%f')[:-3]} UTC "
+                f"({reason})"
+            )
+    if args.report:
+        print()
+        print(render_run_report(tracer.spans, title=f"run report: {args.points}"))
+    if args.trace:
+        write_trace(tracer.spans, args.trace, fmt=args.trace_format)
+        print(f"trace ({args.trace_format}) written to {args.trace}")
+    if args.profile:
+        if engine.dump_profile(args.profile):
+            print(f"merged cProfile stats written to {args.profile}")
+        else:
+            print("no profile data captured", file=sys.stderr)
     if args.out:
         save_labels(args.out, result.labels)
         print(f"labels written to {args.out}")
@@ -232,6 +265,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_group.add_argument(
         "--chaos-seed", type=int, default=0, help="fault-injection seed"
+    )
+    obs_group = cluster.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write the span trace to PATH after the run",
+    )
+    obs_group.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace file format: jsonl span log or Chrome trace_event "
+        "(load chrome traces at https://ui.perfetto.dev)",
+    )
+    obs_group.add_argument(
+        "--report",
+        action="store_true",
+        help="print the full run report (phases, workers, critical path)",
+    )
+    obs_group.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="capture per-task cProfile data and write merged pstats to PATH",
     )
     cluster.set_defaults(func=_cmd_cluster)
 

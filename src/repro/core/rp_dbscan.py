@@ -291,7 +291,15 @@ class RPDBSCAN:
         self.defragment_capacity = defragment_capacity
 
     def fit(self, points: np.ndarray) -> RPDBSCANResult:
-        """Cluster ``points`` and return the full result object."""
+        """Cluster ``points`` and return the full result object.
+
+        When the engine carries a :class:`~repro.obs.spans.Tracer`, the
+        whole call is recorded as a ``fit`` span containing one span per
+        phase: driver-side phases (I-1 partitioning, the I-2 dictionary
+        merge, III-1 merging) as ``driver`` spans opened here, mapped
+        phases (I-2, II, III-2) as ``phase`` spans opened by the engine
+        with nested task/attempt spans.
+        """
         pts = np.asarray(points, dtype=np.float64)
         if pts.ndim != 2:
             raise ValueError(
@@ -311,7 +319,15 @@ class RPDBSCAN:
         engine_counters = self.engine.counters
         fit_mark = engine_counters.mark()
         counters = engine_counters
+        tracer = self.engine.tracer
         geometry = CellGeometry(self.eps, max(dim, 1), self.rho)
+        with tracer.span("fit", "fit", annotations={"n": n, "dim": dim}):
+            return self._fit_traced(pts, n, geometry, engine_counters, fit_mark)
+
+    def _fit_traced(self, pts, n, geometry, engine_counters, fit_mark):
+        counters = engine_counters
+        tracer = self.engine.tracer
+        dim = pts.shape[1]
         if n == 0:
             return RPDBSCANResult(
                 labels=np.empty(0, dtype=np.int64),
@@ -324,7 +340,9 @@ class RPDBSCAN:
             )
 
         # ---------------- Phase I-1: pseudo random partitioning --------
-        with counters.timed_phase(PHASE_PARTITION):
+        with counters.timed_phase(PHASE_PARTITION), tracer.span(
+            PHASE_PARTITION, "driver", phase=PHASE_PARTITION
+        ):
             partitions = pseudo_random_partition(
                 pts,
                 geometry,
@@ -344,7 +362,9 @@ class RPDBSCAN:
             phase=PHASE_DICTIONARY,
             item_counter=lambda p: p.num_cells,
         )
-        with counters.timed_phase(PHASE_DICTIONARY):
+        with counters.timed_phase(PHASE_DICTIONARY), tracer.span(
+            f"{PHASE_DICTIONARY} (driver merge)", "driver", phase=PHASE_DICTIONARY
+        ):
             dictionary = CellDictionary.merge(partials)
             context = QueryContext(
                 dictionary,
@@ -367,7 +387,9 @@ class RPDBSCAN:
         )
 
         # ---------------- Phase III-1: progressive graph merging -------
-        with counters.timed_phase(PHASE_MERGE):
+        with counters.timed_phase(PHASE_MERGE), tracer.span(
+            PHASE_MERGE, "driver", phase=PHASE_MERGE
+        ):
             graphs = [r.graph for r in subgraph_results]
             global_graph, merge_stats = progressive_merge(graphs)
             core_masks = {r.pid: r.core_mask for r in subgraph_results}

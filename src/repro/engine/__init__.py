@@ -28,7 +28,16 @@ any executor into a chaos harness for testing that recovery machinery.
 For scalability experiments (Figs 15 and 20) the measured per-task
 durations are replayed through :func:`repro.engine.simulate.makespan`
 to compute the elapsed time a ``w``-worker cluster would achieve, which
-reproduces the speed-up *shape* without 48 physical cores.
+reproduces the speed-up *shape* without 48 physical cores.  A recorded
+span trace converts directly into such a replay via
+:meth:`repro.engine.simulate.PhaseSchedule.from_trace`.
+
+Observability is opt-in via :mod:`repro.obs`: pass a
+:class:`~repro.obs.spans.Tracer` to the engine to record the full
+phase → task → attempt span timeline (with fault events), and
+``profile=True`` for merged per-task cProfile capture.  The legacy
+:class:`~repro.engine.counters.Counters` is now a compatibility shim
+over :class:`~repro.obs.metrics.MetricsRegistry`.
 """
 
 from repro.engine.counters import DRIVER_WORKER, Counters, CountersMark, TaskStats

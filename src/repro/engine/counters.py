@@ -25,6 +25,16 @@ Two accounting rules keep the figures honest:
   bucket they never enter :meth:`Counters.breakdown` or
   :meth:`Counters.total_seconds`: a chaos run reports the same phase
   fractions as a calm one, plus an event ledger on the side.
+
+Since the observability subsystem landed, :class:`Counters` is a
+**compatibility shim** over a
+:class:`~repro.obs.metrics.MetricsRegistry`: every write to the legacy
+dict buckets is mirrored into :attr:`Counters.registry` under stable
+metric names (``phase_seconds.<p>``, ``setup_seconds.<c>``,
+``fault_events.<k>``, ``items.<p>`` counters and a
+``task_seconds.<p>`` histogram per phase).  Existing consumers keep
+reading the dicts and see identical values; new tooling reads the
+registry.
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["TaskStats", "Counters", "CountersMark", "DRIVER_WORKER"]
 
@@ -91,24 +103,32 @@ class Counters:
     #: ``engine.retries``/``engine.timeouts``/``engine.respawns``
     #: buckets.  Counts, not seconds; excluded from every timing view.
     fault_events: dict[str, int] = field(default_factory=dict)
+    #: The metrics registry this shim mirrors into (see the module
+    #: docstring for the bucket → metric name mapping).
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry, repr=False)
 
     def record_task(self, phase: str, stats: TaskStats) -> None:
         """Append one task's stats under ``phase``."""
         self.phase_tasks.setdefault(phase, []).append(stats)
+        self.registry.counter(f"items.{phase}").inc(stats.items)
+        self.registry.histogram(f"task_seconds.{phase}").observe(stats.wall_time_s)
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
         """Accumulate ``seconds`` of elapsed time under ``phase``."""
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        self.registry.counter(f"phase_seconds.{phase}").inc(max(seconds, 0.0))
 
     def add_setup_time(self, category: str, seconds: float) -> None:
         """Accumulate engine-setup ``seconds`` under ``category``."""
         self.setup_seconds[category] = (
             self.setup_seconds.get(category, 0.0) + seconds
         )
+        self.registry.counter(f"setup_seconds.{category}").inc(max(seconds, 0.0))
 
     def add_fault_event(self, kind: str, count: int = 1) -> None:
         """Count ``count`` fault-recovery events of ``kind``."""
         self.fault_events[kind] = self.fault_events.get(kind, 0) + count
+        self.registry.counter(f"fault_events.{kind}").inc(count)
 
     def fault_event_count(self, kind: str) -> int:
         """Number of fault-recovery events recorded under ``kind``."""
@@ -225,21 +245,22 @@ class Counters:
         its own timings: accumulation continues in ``self``, while the
         returned delta belongs to the single run.
         """
+        # Built through the mutator methods so the delta's registry
+        # mirror stays consistent with its legacy dict views.
         delta = Counters()
         for phase, tasks in self.phase_tasks.items():
-            new = tasks[mark.task_counts.get(phase, 0):]
-            if new:
-                delta.phase_tasks[phase] = list(new)
+            for stats in tasks[mark.task_counts.get(phase, 0):]:
+                delta.record_task(phase, stats)
         for phase, seconds in self.phase_seconds.items():
             diff = seconds - mark.phase_seconds.get(phase, 0.0)
             if diff > 0.0:
-                delta.phase_seconds[phase] = diff
+                delta.add_phase_time(phase, diff)
         for category, seconds in self.setup_seconds.items():
             diff = seconds - mark.setup_seconds.get(category, 0.0)
             if diff > 0.0:
-                delta.setup_seconds[category] = diff
+                delta.add_setup_time(category, diff)
         for kind, count in self.fault_events.items():
             diff = count - mark.fault_events.get(kind, 0)
             if diff > 0:
-                delta.fault_events[kind] = diff
+                delta.add_fault_event(kind, diff)
         return delta

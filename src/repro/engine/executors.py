@@ -44,6 +44,14 @@ Process-mode semantics (matching Spark's executor model):
   land in the counters' fault buckets (``engine.retries``,
   ``engine.timeouts``, ``engine.respawns``, ``engine.speculations``)
   and, like setup time, never enter phase breakdowns.
+* **Observability (opt-in).**  Constructing the engine with a
+  :class:`~repro.obs.spans.Tracer` records every phase as a span tree —
+  phase → task → attempt, with worker ids, broadcast epochs, and
+  retry/timeout/respawn/speculation event spans — exportable as JSONL
+  or Chrome ``trace_event`` JSON (see :mod:`repro.obs`).  ``profile=
+  True`` additionally runs each task body under ``cProfile`` and merges
+  the per-worker captures into one stats view.  Both default off; the
+  untraced fast path costs one no-op call per recording site.
 """
 
 from __future__ import annotations
@@ -58,6 +66,16 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.engine.counters import DRIVER_WORKER, Counters, TaskStats
+from repro.obs.profiling import dump_merged_profile, profile_call
+from repro.obs.spans import (
+    EVENT_RESPAWN,
+    EVENT_RETRY,
+    EVENT_SPECULATION,
+    EVENT_TIMEOUT,
+    NULL_TRACER,
+    Span,
+    Tracer,
+)
 from repro.engine.faults import (
     FAULT_RESPAWNS,
     FAULT_RETRIES,
@@ -127,25 +145,39 @@ def _install_broadcast(
 
 def _run_task(
     payload: tuple[
-        Callable[..., Any], int, Any, int | None, str, int, FaultInjector | None
+        Callable[..., Any], int, Any, int | None, str, int,
+        FaultInjector | None, bool,
     ],
-) -> tuple[int, Any, float, int]:
-    fn, task_id, task, epoch, phase, attempt, injector = payload
+) -> tuple[int, Any, float, int, float, bytes | None]:
+    """Worker-side task body.
+
+    Returns ``(task_id, result, elapsed, pid, start_ts, profile_blob)``.
+    ``start_ts`` is the worker's ``perf_counter`` at compute start — on
+    Linux (where the pool forks) that clock is ``CLOCK_MONOTONIC``,
+    system-wide, so the driver's tracer can place the execution window
+    on its own time axis.
+    """
+    fn, task_id, task, epoch, phase, attempt, injector, profile = payload
     if injector is not None:
         # Chaos happens before the task timer starts: an injected delay
         # models infrastructure slowness, not task compute.
         injector.apply(phase, task_id, attempt, allow_crash=True)
     start = time.perf_counter()
     if epoch is None:
-        result = fn(task)
+        args = (task,)
     else:
         if _WORKER_EPOCH != epoch:
             raise StaleBroadcastError(
                 f"stale broadcast in worker {os.getpid()}: cached epoch "
                 f"{_WORKER_EPOCH}, task expects {epoch}"
             )
-        result = fn(task, _WORKER_BROADCAST)
-    return task_id, result, time.perf_counter() - start, os.getpid()
+        args = (task, _WORKER_BROADCAST)
+    blob = None
+    if profile:
+        result, blob = profile_call(fn, *args)
+    else:
+        result = fn(*args)
+    return task_id, result, time.perf_counter() - start, os.getpid(), start, blob
 
 
 def _default_workers() -> int:
@@ -194,6 +226,17 @@ class Engine:
         task attempt in every mode.  Without a policy the engine keeps
         the zero-overhead fast path, where a single task failure fails
         the phase.
+    tracer:
+        Optional :class:`~repro.obs.spans.Tracer`.  When set, every
+        ``map_tasks`` call records a ``phase`` span with nested
+        ``task``/``attempt`` spans (worker id, broadcast epoch,
+        retry/timeout/respawn/speculation event annotations), and engine
+        setup steps record ``setup`` spans.  Defaults to the shared
+        no-op :data:`~repro.obs.spans.NULL_TRACER`.
+    profile:
+        When ``True``, every task body runs under ``cProfile``; the
+        per-task profiles accumulate in :attr:`profile_blobs` and merge
+        via :meth:`merged_profile` / :meth:`dump_profile`.
 
     Notes
     -----
@@ -218,6 +261,8 @@ class Engine:
         *,
         start_method: str | None = None,
         fault_policy: FaultPolicy | None = None,
+        tracer: Tracer | None = None,
+        profile: bool = False,
     ) -> None:
         if mode not in ("serial", "process"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -228,6 +273,10 @@ class Engine:
         self.counters = counters if counters is not None else Counters()
         self.start_method = start_method if start_method is not None else _default_start_method()
         self.fault_policy = fault_policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profile = bool(profile)
+        #: Marshaled per-task cProfile stats (``profile=True`` only).
+        self.profile_blobs: list[bytes] = []
         # Persistent-pool state.
         self._pool: Any = None
         self._barrier: Any = None
@@ -293,7 +342,9 @@ class Engine:
         if self._pool is None:
             import multiprocessing as mp
 
-            with self.counters.timed_setup("pool_startup"):
+            with self.counters.timed_setup("pool_startup"), self.tracer.span(
+                "pool_startup", "setup"
+            ):
                 ctx = mp.get_context(self.start_method)
                 self._barrier = ctx.Barrier(self.num_workers)
                 self._pool = ctx.Pool(
@@ -413,19 +464,28 @@ class Engine:
                     item_counter=item_counter,
                 )
             payloads = [
-                (fn, task_id, task, epoch, phase, 0, None)
+                (fn, task_id, task, epoch, phase, 0, None, self.profile)
                 for task_id, task in enumerate(tasks)
             ]
-            with self.counters.timed_phase(phase):
-                for task_id, result, elapsed, pid in pool.imap_unordered(
-                    _run_task, payloads
+            with self.counters.timed_phase(phase), self.tracer.span(
+                phase, "phase", phase=phase
+            ):
+                for task_id, result, elapsed, pid, start_ts, blob in (
+                    pool.imap_unordered(_run_task, payloads)
                 ):
                     results[task_id] = result
                     self._record(phase, task_id, tasks[task_id], elapsed, item_counter, pid)
+                    if blob is not None:
+                        self.profile_blobs.append(blob)
+                    self._trace_oneshot(
+                        phase, task_id, start_ts, start_ts + elapsed, pid, epoch
+                    )
         else:
             if wants_broadcast and warmup is not None:
                 self._warm_inline(broadcast, warmup)
-            with self.counters.timed_phase(phase):
+            with self.counters.timed_phase(phase), self.tracer.span(
+                phase, "phase", phase=phase
+            ):
                 for task_id, task in enumerate(tasks):
                     if self.fault_policy is not None:
                         results[task_id] = self._run_inline_with_retries(
@@ -434,13 +494,50 @@ class Engine:
                         )
                         continue
                     start = time.perf_counter()
-                    result = fn(task, broadcast) if wants_broadcast else fn(task)
+                    if self.profile:
+                        args = (task, broadcast) if wants_broadcast else (task,)
+                        result, blob = profile_call(fn, *args)
+                        self.profile_blobs.append(blob)
+                    else:
+                        result = fn(task, broadcast) if wants_broadcast else fn(task)
                     elapsed = time.perf_counter() - start
                     results[task_id] = result
                     self._record(
                         phase, task_id, task, elapsed, item_counter, DRIVER_WORKER
                     )
+                    self._trace_oneshot(
+                        phase, task_id, start, start + elapsed, DRIVER_WORKER, None
+                    )
         return results
+
+    def _trace_oneshot(
+        self,
+        phase: str,
+        task_id: int,
+        start_s: float,
+        end_s: float,
+        worker: int | str,
+        epoch: int | None,
+    ) -> None:
+        """Record the task + single-attempt spans of a fast-path task.
+
+        The current tracer parent is the phase span (both call sites sit
+        inside ``tracer.span(phase, ...)``), so the nesting comes out as
+        phase → task → attempt with one attempt per task.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        task_span = tracer.record_span(
+            f"task {task_id}", "task", start_s=start_s, end_s=end_s,
+            phase=phase, task_id=task_id, worker=worker,
+        )
+        tracer.record_span(
+            f"task {task_id}#0", "attempt", start_s=start_s, end_s=end_s,
+            parent_id=task_span.span_id, phase=phase, task_id=task_id,
+            attempt=0, worker=worker, epoch=epoch,
+            annotations={"compute_s": end_s - start_s, "winner": True},
+        )
 
     # ------------------------------------------------------------------
     # Fault-tolerant execution
@@ -464,6 +561,13 @@ class Engine:
         """
         policy = self.fault_policy
         injector = policy.injector
+        tracer = self.tracer
+        task_span: Span | None = None
+        if tracer.enabled:
+            task_span = tracer.start_span(
+                f"task {task_id}", "task", push=False,
+                phase=phase, task_id=task_id, worker=DRIVER_WORKER,
+            )
         failures = 0
         while True:
             start = time.perf_counter()
@@ -473,17 +577,41 @@ class Engine:
                     start = time.perf_counter()
                 result = fn(task, broadcast) if wants_broadcast else fn(task)
             except Exception as exc:
+                if task_span is not None:
+                    tracer.record_span(
+                        f"task {task_id}#{failures}", "attempt",
+                        start_s=start, end_s=time.perf_counter(),
+                        parent_id=task_span.span_id, phase=phase,
+                        task_id=task_id, attempt=failures,
+                        worker=DRIVER_WORKER, status="error",
+                        annotations={"error": repr(exc)},
+                    )
                 failures += 1
                 if failures > policy.max_retries:
+                    if task_span is not None:
+                        tracer.end_span(task_span, status="error")
                     raise TaskFailedError(
                         f"task {task_id} of phase {phase!r} failed "
                         f"{failures} attempts (retry budget {policy.max_retries})"
                     ) from exc
                 self.counters.add_fault_event(FAULT_RETRIES)
+                tracer.event(
+                    EVENT_RETRY, phase=phase, task_id=task_id,
+                    parent_id=None if task_span is None else task_span.parent_id,
+                )
                 time.sleep(policy.backoff(failures))
                 continue
             elapsed = time.perf_counter() - start
             self._record(phase, task_id, task, elapsed, item_counter, DRIVER_WORKER)
+            if task_span is not None:
+                tracer.record_span(
+                    f"task {task_id}#{failures}", "attempt",
+                    start_s=start, end_s=start + elapsed,
+                    parent_id=task_span.span_id, phase=phase,
+                    task_id=task_id, attempt=failures, worker=DRIVER_WORKER,
+                    annotations={"compute_s": elapsed, "winner": True},
+                )
+                tracer.end_span(task_span)
             return result
 
     def _map_with_recovery(
@@ -513,6 +641,11 @@ class Engine:
         """
         policy = self.fault_policy
         injector = policy.injector
+        tracer = self.tracer
+        #: Open ``task`` spans by task id (first launch → accepted
+        #: completion); attempts parent under these.
+        task_spans: dict[int, Span] = {}
+        phase_span = tracer.start_span(phase, "phase", phase=phase)
         n = len(tasks)
         results: list[Any] = [None] * n
         done = [False] * n
@@ -544,12 +677,21 @@ class Engine:
                     continue
                 if kind == "retry":
                     self.counters.add_fault_event(FAULT_RETRIES)
+                    tracer.event(EVENT_RETRY, phase=phase, task_id=task_id)
                 elif kind == "speculation":
                     self.counters.add_fault_event(FAULT_SPECULATIONS)
+                    tracer.event(EVENT_SPECULATION, phase=phase, task_id=task_id)
                 attempt = launches[task_id]
                 launches[task_id] += 1
+                if tracer.enabled and task_id not in task_spans:
+                    task_spans[task_id] = tracer.start_span(
+                        f"task {task_id}", "task", push=False,
+                        parent_id=phase_span.span_id,
+                        phase=phase, task_id=task_id,
+                    )
                 payload = (
-                    fn, task_id, tasks[task_id], epoch, phase, attempt, injector
+                    fn, task_id, tasks[task_id], epoch, phase, attempt,
+                    injector, self.profile,
                 )
                 flights.append(
                     _Flight(
@@ -592,6 +734,23 @@ class Engine:
                 ),
             )
 
+        def record_flight_span(
+            flight: _Flight, status: str, **annotations: Any
+        ) -> None:
+            """Close out one in-flight attempt as a trace span."""
+            if not tracer.enabled:
+                return
+            if flight.timed_out:
+                annotations.setdefault("timed_out", True)
+            parent = task_spans.get(flight.task_id)
+            tracer.record_span(
+                f"task {flight.task_id}#{flight.attempt}", "attempt",
+                start_s=flight.submitted_at, end_s=time.perf_counter(),
+                parent_id=parent.span_id if parent is not None else phase_span.span_id,
+                phase=phase, task_id=flight.task_id, attempt=flight.attempt,
+                epoch=epoch, status=status, annotations=annotations,
+            )
+
         def respawn(reason: str) -> None:
             nonlocal respawns, recovery_setup, epoch
             respawns += 1
@@ -600,6 +759,10 @@ class Engine:
                     f"pool re-spawn budget ({policy.max_respawns}) exhausted "
                     f"during phase {phase!r}: {reason}"
                 )
+            # Every in-flight attempt dies with the pool: trace them as
+            # lost before the re-spawn wipes the flight list.
+            for flight in flights:
+                record_flight_span(flight, "lost", reason=reason)
             t0 = time.perf_counter()
             with self.counters.timed_setup("respawn_teardown"):
                 self._teardown_pool()
@@ -609,6 +772,7 @@ class Engine:
                 epoch = self._shipped_epoch
             recovery_setup += time.perf_counter() - t0
             self.counters.add_fault_event(FAULT_RESPAWNS)
+            tracer.event(EVENT_RESPAWN, phase=phase, annotations={"reason": reason})
             flights.clear()
             retry_heap.clear()
             ready.clear()
@@ -616,6 +780,7 @@ class Engine:
                 (task_id, "respawn") for task_id in range(n) if not done[task_id]
             )
 
+        finished = False
         try:
             while completed < n:
                 now = time.perf_counter()
@@ -624,6 +789,11 @@ class Engine:
                     and now - start - recovery_setup > policy.phase_timeout_s
                 ):
                     self.counters.add_fault_event(FAULT_TIMEOUTS)
+                    tracer.event(
+                        EVENT_TIMEOUT,
+                        phase=phase,
+                        annotations={"reason": "phase budget exhausted"},
+                    )
                     raise PhaseTimeoutError(
                         f"phase {phase!r} exceeded its "
                         f"{policy.phase_timeout_s}s budget "
@@ -639,7 +809,9 @@ class Engine:
                         flights.remove(flight)
                         progressed = True
                         try:
-                            task_id, result, elapsed, pid = flight.async_result.get()
+                            task_id, result, elapsed, pid, start_ts, blob = (
+                                flight.async_result.get()
+                            )
                         except StaleBroadcastError:
                             # A silently-replaced worker ran with a cold
                             # cache; re-spawn invalidates every flight,
@@ -647,9 +819,40 @@ class Engine:
                             respawn("replacement worker had a cold broadcast cache")
                             break
                         except Exception as exc:
+                            record_flight_span(flight, "error", error=repr(exc))
                             fail_attempt(flight.task_id, exc)
                         else:
-                            if not done[task_id]:
+                            if blob is not None:
+                                self.profile_blobs.append(blob)
+                            won = not done[task_id]
+                            if tracer.enabled:
+                                parent = task_spans.get(task_id)
+                                tracer.record_span(
+                                    f"task {task_id}#{flight.attempt}",
+                                    "attempt",
+                                    start_s=start_ts, end_s=start_ts + elapsed,
+                                    parent_id=(
+                                        parent.span_id if parent is not None
+                                        else phase_span.span_id
+                                    ),
+                                    phase=phase, task_id=task_id,
+                                    attempt=flight.attempt, worker=pid,
+                                    epoch=epoch,
+                                    annotations={
+                                        "compute_s": elapsed,
+                                        "winner": won,
+                                        **(
+                                            {"timed_out": True}
+                                            if flight.timed_out else {}
+                                        ),
+                                    },
+                                )
+                                if won and parent is not None:
+                                    # The winning attempt's worker names
+                                    # the whole task span.
+                                    parent.worker = pid
+                                    tracer.end_span(parent)
+                            if won:
                                 done[task_id] = True
                                 completed += 1
                                 results[task_id] = result
@@ -670,6 +873,12 @@ class Engine:
                         if done[flight.task_id]:
                             continue
                         self.counters.add_fault_event(FAULT_TIMEOUTS)
+                        tracer.event(
+                            EVENT_TIMEOUT,
+                            phase=phase,
+                            task_id=flight.task_id,
+                            attempt=flight.attempt,
+                        )
                         fail_attempt(
                             flight.task_id,
                             TimeoutError(
@@ -707,7 +916,28 @@ class Engine:
                     launch_ready()
                 else:
                     time.sleep(policy.poll_interval_s)
+            finished = True
         finally:
+            if tracer.enabled:
+                # Keep the trace well-formed no matter how the phase
+                # ended: attempts still racing (a timed-out original or
+                # a speculation loser) close as abandoned, and any task
+                # span without an accepted completion closes with the
+                # phase's fate.
+                for flight in flights:
+                    record_flight_span(flight, "abandoned")
+                for task_id, span in task_spans.items():
+                    if not span.closed:
+                        tracer.end_span(
+                            span, status="ok" if done[task_id] else "error"
+                        )
+                tracer.end_span(
+                    phase_span,
+                    status="ok" if finished else "error",
+                    recovery_setup_s=recovery_setup,
+                )
+            else:
+                tracer.end_span(phase_span)
             self.counters.add_phase_time(
                 phase, time.perf_counter() - start - recovery_setup
             )
@@ -724,10 +954,14 @@ class Engine:
         if broadcast is self._shipped_broadcast:
             return
         self._shipped_epoch += 1
+        ship_span = self.tracer.start_span(
+            "broadcast_ship", "setup", push=False, epoch=self._shipped_epoch
+        )
         start = time.perf_counter()
         payloads = [(self._shipped_epoch, broadcast, warmup)] * self.num_workers
         installs = self._pool.map(_install_broadcast, payloads, chunksize=1)
         wall = time.perf_counter() - start
+        self.tracer.end_span(ship_span, warmed=warmup is not None)
         warm_wall = max(w for _, _, w in installs) if warmup is not None else 0.0
         # Warm-ups run concurrently across workers, so the slowest one is
         # the wall-clock share of the fan-out attributable to warm-up.
@@ -741,9 +975,28 @@ class Engine:
         """Driver-side warm-up with the same once-per-value semantics."""
         if broadcast is self._warmed_broadcast:
             return
-        with self.counters.timed_setup("warmup"):
+        with self.counters.timed_setup("warmup"), self.tracer.span(
+            "warmup", "setup"
+        ):
             warmup(broadcast)
         self._warmed_broadcast = broadcast
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+
+    def merged_profile(self):
+        """Merge the per-task cProfile captures into one
+        :class:`pstats.Stats` (``None`` if profiling was off or no task
+        ran).  Requires ``Engine(profile=True)``."""
+        from repro.obs.profiling import merge_profile_blobs
+
+        return merge_profile_blobs(self.profile_blobs)
+
+    def dump_profile(self, path: str) -> bool:
+        """Write the merged profile as a standard pstats dump file.
+        Returns False (and writes nothing) when no profile was captured."""
+        return dump_merged_profile(self.profile_blobs, path) is not None
 
     def _record(
         self,

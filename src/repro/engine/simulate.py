@@ -63,7 +63,7 @@ def makespan(durations: Sequence[float], num_workers: int, policy: str = "arriva
 
 
 def speedup_curve(
-    durations: Sequence[float],
+    durations: "Sequence[float] | PhaseSchedule",
     worker_counts: Sequence[int],
     *,
     baseline_workers: int | None = None,
@@ -78,10 +78,25 @@ def speedup_curve(
     merge and broadcast), which bounds the achievable speed-up exactly as
     Amdahl's law does on the real cluster.
 
+    ``durations`` may also be a :class:`PhaseSchedule` — typically one
+    built from a recorded span trace via
+    :meth:`PhaseSchedule.from_trace` — in which case the schedule's own
+    per-phase model is replayed (``serial_overhead_s`` must then be 0;
+    the schedule already carries the driver-side work).
+
     Returns a dict mapping each worker count to its speed-up.
     """
     if not worker_counts:
         return {}
+    if isinstance(durations, PhaseSchedule):
+        if serial_overhead_s:
+            raise ValueError(
+                "serial_overhead_s is not applicable to a PhaseSchedule; "
+                "add it with add_constant() instead"
+            )
+        return durations.speedups(
+            worker_counts, baseline_workers=baseline_workers, policy=policy
+        )
     base = baseline_workers if baseline_workers is not None else min(worker_counts)
     base_time = makespan(durations, base, policy) + serial_overhead_s
     out: dict[int, float] = {}
@@ -110,6 +125,44 @@ class PhaseSchedule:
 
     def __init__(self) -> None:
         self._phases: list[tuple[str, object]] = []
+
+    @classmethod
+    def from_trace(
+        cls, spans: Sequence["object"], *, include_setup: bool = False
+    ) -> "PhaseSchedule":
+        """Build a schedule from a recorded span trace.
+
+        Each ``phase`` span becomes a ``parallel`` phase replaying the
+        measured per-task compute times of its winning attempts (queue
+        time and lost attempts excluded — a bigger virtual cluster
+        would not have waited for them); each ``driver`` span becomes a
+        ``constant`` phase.  Engine ``setup`` spans (pool startup,
+        broadcast shipping, warm-up) are excluded by default, matching
+        the engine's own phase-breakdown accounting; pass
+        ``include_setup=True`` to model them as constant work.
+
+        ``spans`` is any sequence of :class:`repro.obs.spans.Span`, e.g.
+        a live ``Tracer().spans`` or a ``--trace`` file re-read through
+        :func:`repro.obs.exporters.read_spans_jsonl`.  This is the
+        measured-run → virtual-cluster bridge for Figs 15/20.
+        """
+        from repro.obs.report import phase_task_durations
+
+        by_phase = phase_task_durations(list(spans))
+        schedule = cls()
+        for span in spans:
+            if span.kind == "driver":
+                schedule.add_constant(span.duration_s)
+            elif span.kind == "phase":
+                # pop() so a reused phase name cannot double-count tasks
+                times = by_phase.pop(span.phase or span.name, None)
+                if times:
+                    schedule.add_parallel(times)
+                else:
+                    schedule.add_constant(span.duration_s)
+            elif include_setup and span.kind == "setup":
+                schedule.add_constant(span.duration_s)
+        return schedule
 
     def add_parallel(self, task_seconds: Sequence[float]) -> "PhaseSchedule":
         """Append a phase of independent tasks."""
@@ -141,14 +194,18 @@ class PhaseSchedule:
         return total
 
     def speedups(
-        self, worker_counts: Sequence[int], *, baseline_workers: int | None = None
+        self,
+        worker_counts: Sequence[int],
+        *,
+        baseline_workers: int | None = None,
+        policy: str = "arrival",
     ) -> dict[int, float]:
         """Speed-up of each worker count over the smallest (paper Fig 15)."""
         if not worker_counts:
             return {}
         base = baseline_workers if baseline_workers is not None else min(worker_counts)
-        base_time = self.elapsed(base)
+        base_time = self.elapsed(base, policy)
         return {
-            w: (base_time / t if (t := self.elapsed(w)) > 0 else float("inf"))
+            w: (base_time / t if (t := self.elapsed(w, policy)) > 0 else float("inf"))
             for w in worker_counts
         }

@@ -1,0 +1,155 @@
+"""Trace exporters: JSON-lines span log and Chrome ``trace_event`` JSON.
+
+Two machine formats plus helpers shared by the human-readable run
+report (:mod:`repro.obs.report`):
+
+* **JSONL** — one :meth:`~repro.obs.spans.Span.to_dict` record per
+  line; trivially greppable, streamable, and round-trippable
+  (:func:`read_spans_jsonl`), so recorded traces can be re-loaded to
+  build a :class:`~repro.engine.simulate.PhaseSchedule` or re-rendered
+  as a report long after the run.
+* **Chrome trace** — the ``trace_event`` JSON array format understood
+  by ``chrome://tracing`` and https://ui.perfetto.dev: open the file
+  there to scrub through the run.  Spans become complete (``"ph":
+  "X"``) events; fault events become instants (``"ph": "i"``).  Rows
+  are organized one track per worker — driver-side spans (fit, phases,
+  setup, driver work) on the ``driver`` track, task attempts on their
+  worker's track — so retry/speculation overlap is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.spans import Span, validate_trace
+
+__all__ = [
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_trace",
+    "TRACE_FORMATS",
+]
+
+#: Formats understood by :func:`write_trace` (and the CLI's
+#: ``--trace-format``).
+TRACE_FORMATS = ("jsonl", "chrome")
+
+
+def write_spans_jsonl(spans: list[Span], path: str | Path) -> None:
+    """Write one JSON record per span; validates the trace first."""
+    validate_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True))
+            fh.write("\n")
+
+
+def read_spans_jsonl(path: str | Path) -> list[Span]:
+    """Load a span list written by :func:`write_spans_jsonl`."""
+    spans: list[Span] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def _worker_tracks(spans: list[Span]) -> dict[int | str, int]:
+    """Stable worker → Chrome ``tid`` mapping; driver is tid 0."""
+    tracks: dict[int | str, int] = {}
+    for span in spans:
+        worker = span.worker
+        if worker is None or worker == "driver":
+            continue
+        if worker not in tracks:
+            tracks[worker] = len(tracks) + 1
+    return tracks
+
+
+def to_chrome_trace(spans: list[Span]) -> dict[str, Any]:
+    """Convert a trace to the Chrome ``trace_event`` JSON object.
+
+    Timestamps are microseconds relative to the earliest span, which is
+    what Perfetto expects; negative timestamps (impossible here) would
+    be clamped by the viewer anyway.
+    """
+    validate_trace(spans)
+    events: list[dict[str, Any]] = []
+    pid = 1
+    tracks = _worker_tracks(spans)
+    events.append(
+        {"ph": "M", "pid": pid, "name": "process_name",
+         "args": {"name": "rp-dbscan"}}
+    )
+    events.append(
+        {"ph": "M", "pid": pid, "tid": 0, "name": "thread_name",
+         "args": {"name": "driver"}}
+    )
+    for worker, tid in tracks.items():
+        events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+             "args": {"name": f"worker {worker}"}}
+        )
+    t0 = min((s.start_s for s in spans), default=0.0)
+
+    def micros(t: float) -> float:
+        return (t - t0) * 1e6
+
+    for span in spans:
+        tid = tracks.get(span.worker, 0)
+        args: dict[str, Any] = {"status": span.status}
+        for key in ("phase", "task_id", "attempt", "epoch", "worker"):
+            value = getattr(span, key)
+            if value is not None:
+                args[key] = value
+        args.update(span.annotations)
+        if span.kind == "event":
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "i",
+                    "s": "g",  # global-scope instant: draws a full-height line
+                    "ts": micros(span.start_s),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": micros(span.start_s),
+                    "dur": max(span.duration_s, 0.0) * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: list[Span], path: str | Path) -> None:
+    """Write the Chrome/Perfetto trace JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(spans), fh)
+
+
+def write_trace(spans: list[Span], path: str | Path, fmt: str = "jsonl") -> None:
+    """Write ``spans`` to ``path`` in one of :data:`TRACE_FORMATS`."""
+    if fmt == "jsonl":
+        write_spans_jsonl(spans, path)
+    elif fmt == "chrome":
+        write_chrome_trace(spans, path)
+    else:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}"
+        )

@@ -1,0 +1,76 @@
+"""Opt-in per-task ``cProfile`` capture, merged across workers.
+
+Tracing answers *when* a task ran; profiling answers *what it spent its
+time on*.  Because tasks execute in pool worker processes, each worker
+profiles its own task body and ships the raw profile back to the driver
+as a ``marshal`` blob (the on-disk format of ``cProfile``/``pstats``),
+where :func:`merge_profile_blobs` folds them into one
+:class:`pstats.Stats` — the aggregate hot-function view of the whole
+parallel run.
+
+The capture wrapper adds one ``cProfile.Profile`` enable/disable per
+task, so profiling is opt-in (``Engine(profile=True)`` or the CLI's
+``--profile``) and never on in benchmarks unless asked.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import marshal
+import os
+import pstats
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["profile_call", "merge_profile_blobs", "dump_merged_profile"]
+
+
+def profile_call(fn: Callable[..., Any], *args: Any) -> tuple[Any, bytes]:
+    """Run ``fn(*args)`` under ``cProfile``; return ``(result, blob)``.
+
+    ``blob`` is the marshaled stats table, the same bytes
+    ``Profile.dump_stats`` writes, so any pstats tooling can read it.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args)
+    finally:
+        profiler.disable()
+    profiler.create_stats()
+    return result, marshal.dumps(profiler.stats)
+
+
+def merge_profile_blobs(blobs: list[bytes]) -> pstats.Stats | None:
+    """Fold per-task profile blobs into one :class:`pstats.Stats`.
+
+    ``pstats`` only loads from files, so each blob takes a round-trip
+    through a temporary file; fine at per-task granularity.  Returns
+    ``None`` for an empty list.
+    """
+    stats: pstats.Stats | None = None
+    for blob in blobs:
+        fd, path = tempfile.mkstemp(suffix=".prof")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            if stats is None:
+                stats = pstats.Stats(path)
+            else:
+                stats.add(path)
+        finally:
+            os.unlink(path)
+    return stats
+
+
+def dump_merged_profile(blobs: list[bytes], path: str | Path) -> pstats.Stats | None:
+    """Merge ``blobs`` and write the combined stats file to ``path``.
+
+    The output is a standard pstats dump: inspect it with
+    ``python -m pstats <path>`` or ``snakeviz``.
+    """
+    stats = merge_profile_blobs(blobs)
+    if stats is not None:
+        stats.dump_stats(str(path))
+    return stats

@@ -1,0 +1,257 @@
+"""Human-readable run report rendered from a span trace.
+
+``render_run_report(spans)`` turns one recorded run into the text
+report the paper's efficiency analysis wants at a glance:
+
+* **per-phase breakdown** — elapsed seconds and fraction per phase
+  (Fig 12's view), with task counts and slowest/median task times;
+* **per-worker utilization** — busy seconds and busy fraction per
+  worker over the mapped phases (Fig 13's load-imbalance view);
+* **critical path** — the fork-join lower bound (driver work plus the
+  slowest task of every mapped phase) next to the achieved elapsed
+  time, i.e. how much of the gap is schedulable slack;
+* **straggler summary** — tasks ≥ 2× their phase median, the targets
+  speculation would duplicate;
+* **fault ledger** — every retry/timeout/respawn/speculation event with
+  its wall-clock timestamp.
+
+All figures are computed from spans alone, so a report can be rendered
+offline from a ``--trace`` JSONL file via
+:func:`repro.obs.exporters.read_spans_jsonl`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from datetime import datetime, timezone
+
+from repro.bench.reporting import (
+    format_duration,
+    format_table,
+    render_utilization_bar,
+)
+from repro.obs.spans import Span
+
+__all__ = ["render_run_report", "phase_task_durations", "worker_busy_seconds"]
+
+#: An attempt at least this many times slower than its phase median is
+#: reported as a straggler (matches the default straggler factor region
+#: the fault policy speculates on).
+STRAGGLER_FACTOR = 2.0
+
+
+def _winning_attempts(spans: list[Span]) -> list[Span]:
+    """One successful attempt per (phase, task): the accepted result."""
+    winners: dict[tuple[str | None, int | None], Span] = {}
+    for span in spans:
+        if span.kind != "attempt" or span.status != "ok":
+            continue
+        key = (span.phase, span.task_id)
+        if key not in winners or span.annotations.get("winner", False):
+            winners[key] = span
+    return list(winners.values())
+
+
+def phase_task_durations(spans: list[Span]) -> dict[str, list[float]]:
+    """Measured per-task durations by phase (winning attempts only).
+
+    Prefers the worker-reported compute time (``compute_s`` annotation)
+    over the span width, which in recovery mode includes driver queue
+    time.  This is the duration list scheduling simulations should
+    replay (:meth:`repro.engine.simulate.PhaseSchedule.from_trace`).
+    """
+    out: dict[str, list[float]] = {}
+    for span in _winning_attempts(spans):
+        duration = float(span.annotations.get("compute_s", span.duration_s))
+        out.setdefault(span.phase or "unknown", []).append(duration)
+    return out
+
+
+def worker_busy_seconds(spans: list[Span]) -> dict[int | str, float]:
+    """Total attempt seconds per worker (all attempts, winners or not —
+    a lost retry still occupied its worker)."""
+    out: dict[int | str, float] = {}
+    for span in spans:
+        if span.kind != "attempt":
+            continue
+        worker = span.worker if span.worker is not None else "driver"
+        out[worker] = out.get(worker, 0.0) + float(
+            span.annotations.get("compute_s", span.duration_s)
+        )
+    return out
+
+
+def _phase_rows(spans: list[Span]) -> list[list]:
+    phases = [s for s in spans if s.kind in ("phase", "driver")]
+    total = sum(s.duration_s for s in phases) or 1.0
+    by_phase = phase_task_durations(spans)
+    rows = []
+    for span in phases:
+        times = (
+            by_phase.get(span.phase or span.name, [])
+            if span.kind == "phase"
+            else []
+        )
+        rows.append(
+            [
+                span.name,
+                format_duration(span.duration_s),
+                f"{span.duration_s / total:.1%}",
+                len(times) or None,
+                format_duration(max(times)) if times else None,
+                format_duration(statistics.median(times)) if times else None,
+            ]
+        )
+    return rows
+
+
+def _critical_path_rows(spans: list[Span]) -> tuple[list[list], float, float]:
+    elapsed = sum(s.duration_s for s in spans if s.kind in ("phase", "driver"))
+    by_phase = phase_task_durations(spans)
+    rows = []
+    critical = 0.0
+    for span in spans:
+        if span.kind == "driver":
+            critical += span.duration_s
+            rows.append([span.name, "driver", format_duration(span.duration_s)])
+        elif span.kind == "phase":
+            times = by_phase.get(span.phase or span.name)
+            if times:
+                critical += max(times)
+                rows.append(
+                    [span.name, "slowest task", format_duration(max(times))]
+                )
+            else:
+                critical += span.duration_s
+                rows.append([span.name, "driver", format_duration(span.duration_s)])
+    return rows, critical, elapsed
+
+
+def _straggler_rows(spans: list[Span]) -> list[list]:
+    rows = []
+    by_phase: dict[str, list[Span]] = {}
+    for span in _winning_attempts(spans):
+        by_phase.setdefault(span.phase or "unknown", []).append(span)
+    for phase, attempts in by_phase.items():
+        durations = [
+            float(s.annotations.get("compute_s", s.duration_s)) for s in attempts
+        ]
+        if len(durations) < 2:
+            continue
+        median = statistics.median(durations)
+        floor = max(STRAGGLER_FACTOR * median, 1e-9)
+        for span, duration in zip(attempts, durations):
+            if duration >= floor:
+                rows.append(
+                    [
+                        phase,
+                        span.task_id,
+                        span.worker,
+                        format_duration(duration),
+                        f"{duration / max(median, 1e-9):.1f}x median",
+                    ]
+                )
+    return rows
+
+
+def fault_ledger_rows(spans: list[Span]) -> list[list]:
+    """Fault events with wall-clock timestamps, in event order."""
+    rows = []
+    for span in spans:
+        if span.kind != "event":
+            continue
+        stamp = datetime.fromtimestamp(span.wall_start_s, tz=timezone.utc)
+        rows.append(
+            [
+                stamp.strftime("%H:%M:%S.%f")[:-3],
+                span.name,
+                span.phase,
+                span.task_id,
+                span.annotations.get("reason"),
+            ]
+        )
+    return rows
+
+
+def render_run_report(spans: list[Span], *, title: str = "run report") -> str:
+    """Render the full text report for one recorded run."""
+    sections = [f"{title}\n{'=' * len(title)}"]
+
+    rows = _phase_rows(spans)
+    if rows:
+        sections.append(
+            format_table(
+                ["phase", "elapsed", "share", "tasks", "slowest", "median"],
+                rows,
+                title="phase breakdown (setup excluded)",
+            )
+        )
+
+    setup = [s for s in spans if s.kind == "setup"]
+    if setup:
+        total_setup = sum(s.duration_s for s in setup)
+        sections.append(
+            f"engine setup: {format_duration(total_setup)} across "
+            f"{len(setup)} step(s) "
+            f"({', '.join(sorted({s.name for s in setup}))})"
+        )
+
+    busy = worker_busy_seconds(spans)
+    phase_spans = [s for s in spans if s.kind == "phase"]
+    window = sum(s.duration_s for s in phase_spans) or 1.0
+    if busy:
+        rows = [
+            [
+                str(worker),
+                format_duration(seconds),
+                render_utilization_bar(seconds / window),
+                f"{seconds / window:.1%}",
+            ]
+            for worker, seconds in sorted(
+                busy.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        sections.append(
+            format_table(
+                ["worker", "busy", "utilization", "busy frac"],
+                rows,
+                title="per-worker utilization (over mapped-phase time)",
+            )
+        )
+
+    rows, critical, elapsed = _critical_path_rows(spans)
+    if rows:
+        slack = elapsed - critical
+        sections.append(
+            format_table(
+                ["phase", "bound by", "time"],
+                rows,
+                title=(
+                    f"critical path: {format_duration(critical)} lower bound "
+                    f"vs {format_duration(elapsed)} elapsed "
+                    f"({format_duration(max(slack, 0.0))} schedulable slack)"
+                ),
+            )
+        )
+
+    rows = _straggler_rows(spans)
+    if rows:
+        sections.append(
+            format_table(
+                ["phase", "task", "worker", "time", "vs median"],
+                rows,
+                title=f"stragglers (>= {STRAGGLER_FACTOR:g}x phase median)",
+            )
+        )
+
+    rows = fault_ledger_rows(spans)
+    if rows:
+        sections.append(
+            format_table(
+                ["time (UTC)", "event", "phase", "task", "reason"],
+                rows,
+                title="fault ledger",
+            )
+        )
+
+    return "\n\n".join(sections)

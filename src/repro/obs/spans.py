@@ -1,0 +1,414 @@
+"""Span-based tracing: the *when/where* companion to the counters.
+
+The engine's :class:`~repro.engine.counters.Counters` answer *how much*
+— total seconds per phase, items per task.  They cannot answer *when*
+each task ran, on which worker, or how retries and speculative attempts
+overlapped, which is exactly what the paper's load-imbalance story
+(Figs 12–13) is about.  This module records that timeline as a tree of
+:class:`Span` objects:
+
+``fit`` → ``phase`` → ``task`` → ``attempt``, plus zero-duration
+``event`` spans (retry / timeout / respawn / speculation) and ``setup``
+spans (pool startup, broadcast shipping) hanging off whatever was
+active when they happened.
+
+Clocks
+------
+Span ``start_s``/``end_s`` are monotonic (:func:`time.perf_counter`).
+On Linux — where the process executor forks — ``perf_counter`` reads
+``CLOCK_MONOTONIC``, which is system-wide, so worker-measured task
+timestamps land on the same axis as driver-side phase spans.  Every
+span additionally records ``wall_start_s`` (:func:`time.time`) so
+events can be reported as wall-clock datetimes (the fault ledger uses
+this for respawn timestamps).
+
+Overhead
+--------
+The tracer is opt-in.  :data:`NULL_TRACER` (the default everywhere) is
+a no-op subclass whose methods return immediately, so untraced runs pay
+a single attribute lookup and call per recording site —
+``benchmarks/bench_trace_overhead.py`` pins this below 5%.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SPAN_KINDS",
+    "EVENT_RETRY",
+    "EVENT_TIMEOUT",
+    "EVENT_RESPAWN",
+    "EVENT_SPECULATION",
+    "validate_trace",
+    "TraceValidationError",
+]
+
+#: The span vocabulary, outermost first.  ``driver`` marks driver-side
+#: algorithm work inside a phase (e.g. the Phase III-1 merge); ``setup``
+#: marks engine overhead (pool startup, broadcast shipping, warm-up)
+#: that the counters likewise keep out of phase breakdowns.
+SPAN_KINDS = ("fit", "phase", "driver", "setup", "task", "attempt", "event")
+
+#: Names of the fault-recovery event spans, matching the counter
+#: buckets of :mod:`repro.engine.faults` one-to-one.
+EVENT_RETRY = "retry"
+EVENT_TIMEOUT = "timeout"
+EVENT_RESPAWN = "respawn"
+EVENT_SPECULATION = "speculation"
+
+#: Terminal statuses an attempt span may carry.  ``lost`` means the
+#: attempt was invalidated by a pool re-spawn; ``abandoned`` means the
+#: phase finished while the attempt was still in flight (a racing
+#: duplicate won).
+ATTEMPT_STATUSES = ("ok", "error", "timeout", "lost", "abandoned")
+
+
+class TraceValidationError(ValueError):
+    """A span (or a trace) violates the well-formedness contract."""
+
+
+@dataclass
+class Span:
+    """One node of the trace tree.
+
+    Attributes
+    ----------
+    span_id / parent_id:
+        Tree structure; ``parent_id is None`` marks a root span.
+    name:
+        Phase name for ``phase`` spans, event name for ``event`` spans,
+        ``"task"``/``"attempt"`` labels otherwise.
+    kind:
+        One of :data:`SPAN_KINDS`.
+    start_s / end_s:
+        Monotonic timestamps (tracer clock); ``end_s is None`` while
+        the span is open.
+    wall_start_s:
+        ``time.time()`` at span start, for wall-clock reporting.
+    worker:
+        Worker PID (process mode) or
+        :data:`~repro.engine.counters.DRIVER_WORKER`.
+    phase / task_id / attempt / epoch:
+        Execution coordinates, where applicable.
+    status:
+        ``"ok"`` or one of the failure statuses (attempt spans).
+    annotations:
+        Free-form extras (``compute_s``, ``reason``, ``timed_out`` ...).
+    """
+
+    span_id: int
+    name: str
+    kind: str
+    start_s: float
+    wall_start_s: float
+    parent_id: int | None = None
+    end_s: float | None = None
+    worker: int | str | None = None
+    phase: str | None = None
+    task_id: int | None = None
+    attempt: int | None = None
+    epoch: int | None = None
+    status: str = "ok"
+    annotations: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def closed(self) -> bool:
+        return self.end_s is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation (one JSONL record)."""
+        out: dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "wall_start_s": self.wall_start_s,
+            "status": self.status,
+        }
+        for key in ("worker", "phase", "task_id", "attempt", "epoch"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.annotations:
+            out["annotations"] = dict(self.annotations)
+        return out
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            name=record["name"],
+            kind=record["kind"],
+            start_s=record["start_s"],
+            end_s=record.get("end_s"),
+            wall_start_s=record.get("wall_start_s", record["start_s"]),
+            worker=record.get("worker"),
+            phase=record.get("phase"),
+            task_id=record.get("task_id"),
+            attempt=record.get("attempt"),
+            epoch=record.get("epoch"),
+            status=record.get("status", "ok"),
+            annotations=dict(record.get("annotations", {})),
+        )
+
+
+class Tracer:
+    """Collects spans for one run; driver-side, single-threaded.
+
+    Nesting is tracked by an explicit stack fed by the
+    :meth:`span` context manager; spans recorded outside any open span
+    become roots.  Worker-measured timings enter through
+    :meth:`record_span`, which accepts explicit start/end times instead
+    of reading the clock.
+
+    Parameters
+    ----------
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        attached, every closed ``attempt`` span feeds a per-phase
+        duration histogram (``task_seconds.<phase>``) — the
+        "spans+histograms" tracing level of the overhead bench.
+    """
+
+    #: Class-level flag so recording sites can skip argument building
+    #: entirely under the null tracer.
+    enabled = True
+
+    def __init__(self, *, metrics: Any = None) -> None:
+        self.spans: list[Span] = []
+        self.metrics = metrics
+        self._ids = itertools.count()
+        self._stack: list[Span] = []
+
+    # -- low-level recording -------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter()
+
+    def current_parent_id(self) -> int | None:
+        """Span id new spans will be parented to (``None`` at root)."""
+        return self._stack[-1].span_id if self._stack else None
+
+    def start_span(
+        self,
+        name: str,
+        kind: str,
+        *,
+        parent_id: int | None = None,
+        push: bool = True,
+        **coords: Any,
+    ) -> Span:
+        """Open a span now; ``push=True`` makes it the implicit parent."""
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            kind=kind,
+            start_s=self._now(),
+            wall_start_s=time.time(),
+            parent_id=parent_id if parent_id is not None else self.current_parent_id(),
+            **coords,
+        )
+        self.spans.append(span)
+        if push:
+            self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span, status: str = "ok", **annotations: Any) -> None:
+        """Close ``span``; pops it from the stack if it is on top."""
+        span.end_s = self._now()
+        span.status = status
+        if annotations:
+            span.annotations.update(annotations)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self._observe(span)
+
+    @contextmanager
+    def span(self, name: str, kind: str, **coords: Any):
+        """``with tracer.span(...)`` — nested spans parent automatically."""
+        span = self.start_span(name, kind, **coords)
+        try:
+            yield span
+        except BaseException:
+            self.end_span(span, status="error")
+            raise
+        self.end_span(span, status=span.status)
+
+    def record_span(
+        self,
+        name: str,
+        kind: str,
+        *,
+        start_s: float,
+        end_s: float,
+        parent_id: int | None = None,
+        wall_start_s: float | None = None,
+        status: str = "ok",
+        annotations: dict[str, Any] | None = None,
+        **coords: Any,
+    ) -> Span:
+        """Append an already-measured (closed) span.
+
+        This is how worker-side timings land in the trace: the worker
+        reports ``(start, end)`` on the shared monotonic clock and the
+        driver records them after the fact.  ``wall_start_s`` defaults
+        to a back-projection from the driver's current clock pair.
+        """
+        if wall_start_s is None:
+            wall_start_s = time.time() - (self._now() - start_s)
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            kind=kind,
+            start_s=start_s,
+            end_s=end_s,
+            wall_start_s=wall_start_s,
+            parent_id=parent_id if parent_id is not None else self.current_parent_id(),
+            status=status,
+            annotations=dict(annotations or {}),
+            **coords,
+        )
+        self.spans.append(span)
+        self._observe(span)
+        return span
+
+    def event(
+        self, name: str, *, parent_id: int | None = None, **coords: Any
+    ) -> Span:
+        """Record an instantaneous ``event`` span (duration zero)."""
+        now = self._now()
+        return self.record_span(
+            name,
+            "event",
+            start_s=now,
+            end_s=now,
+            parent_id=parent_id,
+            wall_start_s=time.time(),
+            **coords,
+        )
+
+    def _observe(self, span: Span) -> None:
+        if self.metrics is not None and span.kind == "attempt" and span.closed:
+            self.metrics.histogram(
+                f"task_seconds.{span.phase or 'unknown'}"
+            ).observe(span.duration_s)
+
+    # -- views ----------------------------------------------------------
+
+    def find(self, *, kind: str | None = None, name: str | None = None) -> list[Span]:
+        """Spans matching the given kind and/or name, in record order."""
+        return [
+            s
+            for s in self.spans
+            if (kind is None or s.kind == kind)
+            and (name is None or s.name == name)
+        ]
+
+    def events(self, name: str | None = None) -> list[Span]:
+        """The fault-event spans (optionally of one ``name``)."""
+        return self.find(kind="event", name=name)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing; the default everywhere.
+
+    Shares the :class:`Tracer` interface so call sites never branch;
+    every method is a constant-time no-op.  A single shared instance,
+    :data:`NULL_TRACER`, is used as the disabled default.
+    """
+
+    enabled = False
+
+    _NULL_SPAN: Span | None = None
+
+    def __init__(self) -> None:
+        super().__init__()
+        if NullTracer._NULL_SPAN is None:
+            NullTracer._NULL_SPAN = Span(
+                span_id=-1, name="null", kind="event", start_s=0.0,
+                wall_start_s=0.0, end_s=0.0,
+            )
+
+    def start_span(self, name, kind, **kwargs):  # noqa: D102
+        return NullTracer._NULL_SPAN
+
+    def end_span(self, span, status="ok", **annotations):  # noqa: D102
+        return None
+
+    @contextmanager
+    def span(self, name, kind, **coords):  # noqa: D102
+        yield NullTracer._NULL_SPAN
+
+    def record_span(self, name, kind, **kwargs):  # noqa: D102
+        return NullTracer._NULL_SPAN
+
+    def event(self, name, **kwargs):  # noqa: D102
+        return NullTracer._NULL_SPAN
+
+
+#: Shared no-op tracer: the engine's default, so untraced runs never
+#: allocate spans.
+NULL_TRACER = NullTracer()
+
+
+def validate_trace(spans: list[Span]) -> None:
+    """Assert the well-formedness contract of a finished trace.
+
+    Every span must be **closed** (``end_s`` set), have a
+    **non-negative duration**, be **parented** to a span that exists in
+    the trace (or be a root), and carry a known ``kind``; container
+    kinds (``fit``/``phase``) must not hang off leaves.  Raises
+    :class:`TraceValidationError` on the first violation; used by the
+    CI smoke test and the exporters.
+    """
+    by_id = {s.span_id: s for s in spans}
+    if len(by_id) != len(spans):
+        raise TraceValidationError("duplicate span ids in trace")
+    for span in spans:
+        if span.kind not in SPAN_KINDS:
+            raise TraceValidationError(
+                f"span {span.span_id} has unknown kind {span.kind!r}"
+            )
+        if not span.closed:
+            raise TraceValidationError(
+                f"span {span.span_id} ({span.kind} {span.name!r}) was never closed"
+            )
+        if span.duration_s < 0:
+            raise TraceValidationError(
+                f"span {span.span_id} ({span.kind} {span.name!r}) has negative "
+                f"duration {span.duration_s}"
+            )
+        if span.parent_id is not None:
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                raise TraceValidationError(
+                    f"span {span.span_id} ({span.kind} {span.name!r}) references "
+                    f"missing parent {span.parent_id}"
+                )
+            if parent.kind in ("task", "attempt", "event"):
+                # Structure check: leaves cannot parent containers.
+                if span.kind in ("fit", "phase"):
+                    raise TraceValidationError(
+                        f"{span.kind} span {span.span_id} parented under "
+                        f"{parent.kind} span {parent.span_id}"
+                    )

@@ -67,6 +67,46 @@ class TestRoundtrip:
         clone = deserialize_dictionary(serialize_dictionary(empty))
         assert clone.num_cells == 0
 
+    def test_empty_dictionary_is_header_only(self):
+        geometry = CellGeometry(1.0, 3, 0.1)
+        data = serialize_dictionary(CellDictionary(geometry, {}))
+        assert len(data) == HEADER_BYTES
+        clone = deserialize_dictionary(data)
+        assert clone.geometry == geometry
+        assert clone.cells == {}
+
+    def test_single_cell_dictionary(self):
+        # One point -> one cell with one sub-cell: the smallest
+        # non-empty stream exercises every per-cell field exactly once.
+        geometry = CellGeometry(eps=0.4, dim=2, rho=0.1)
+        single = CellDictionary.from_points(np.array([[0.05, 0.05]]), geometry)
+        assert single.num_cells == 1
+        clone = deserialize_dictionary(serialize_dictionary(single))
+        assert clone.num_cells == 1
+        ((cell_id, summary),) = clone.cells.items()
+        original = single.cells[cell_id]
+        assert summary.count == original.count == 1
+        assert summary.sub_coords.tolist() == original.sub_coords.tolist()
+        assert summary.sub_counts.tolist() == original.sub_counts.tolist()
+
+    def test_h1_geometry_round_trips(self, workload):
+        # rho = 1.0 collapses the hierarchy to h = 1: zero bits per
+        # sub-cell axis, so the bit-packed position payload is empty and
+        # the stream must survive packing/unpacking zero-width fields.
+        geometry = CellGeometry(eps=0.4, dim=2, rho=1.0)
+        assert geometry.h == 1
+        dictionary = CellDictionary.from_points(workload, geometry)
+        clone = deserialize_dictionary(serialize_dictionary(dictionary))
+        assert clone.geometry == dictionary.geometry
+        assert set(clone.cells) == set(dictionary.cells)
+        for cell_id, summary in dictionary.cells.items():
+            other = clone.cells[cell_id]
+            assert other.count == summary.count
+            assert sorted(map(tuple, other.sub_coords.tolist())) == sorted(
+                map(tuple, summary.sub_coords.tolist())
+            )
+            assert sum(other.sub_counts) == sum(summary.sub_counts)
+
     def test_bad_magic_rejected(self):
         with pytest.raises(ValueError):
             deserialize_dictionary(b"XXXX" + b"\0" * 64)

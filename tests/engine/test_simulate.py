@@ -112,3 +112,90 @@ class TestPhaseSchedule:
     def test_rejects_bad_workers(self):
         with pytest.raises(ValueError):
             self._schedule().elapsed(0)
+
+
+class TestFromTrace:
+    @staticmethod
+    def _span(span_id, kind, name, start, end, *, parent_id=None, **extra):
+        from repro.obs.spans import Span
+
+        annotations = extra.pop("annotations", {})
+        return Span(
+            span_id=span_id,
+            name=name,
+            kind=kind,
+            start_s=start,
+            wall_start_s=start,
+            end_s=end,
+            parent_id=parent_id,
+            annotations=annotations,
+            **extra,
+        )
+
+    def _trace(self):
+        """fit → driver (2s) + mapped phase (tasks of 1s and 3s, plus a
+        lost 5s attempt that must not be replayed) + setup (4s)."""
+        s = self._span
+        return [
+            s(0, "fit", "fit", 0.0, 10.0),
+            s(1, "setup", "pool_startup", 0.0, 4.0, parent_id=0),
+            s(2, "driver", "III-1 merging", 0.0, 2.0, parent_id=0,
+              phase="III-1 merging"),
+            s(3, "phase", "II", 2.0, 8.0, parent_id=0, phase="II"),
+            s(4, "attempt", "task 0#0", 2.0, 7.0, parent_id=3, phase="II",
+              task_id=0, attempt=0, status="lost"),
+            s(5, "attempt", "task 0#1", 2.0, 3.0, parent_id=3, phase="II",
+              task_id=0, attempt=1,
+              annotations={"compute_s": 1.0, "winner": True}),
+            s(6, "attempt", "task 1#0", 2.0, 5.0, parent_id=3, phase="II",
+              task_id=1, attempt=0,
+              annotations={"compute_s": 3.0, "winner": True}),
+        ]
+
+    def test_phases_reconstructed(self):
+        from repro.engine.simulate import PhaseSchedule
+
+        schedule = PhaseSchedule.from_trace(self._trace())
+        # driver constant 2s; parallel [1, 3]; setup excluded.
+        assert schedule.elapsed(1) == pytest.approx(2.0 + 4.0)
+        assert schedule.elapsed(2) == pytest.approx(2.0 + 3.0)
+
+    def test_include_setup(self):
+        from repro.engine.simulate import PhaseSchedule
+
+        schedule = PhaseSchedule.from_trace(self._trace(), include_setup=True)
+        assert schedule.elapsed(2) == pytest.approx(4.0 + 2.0 + 3.0)
+
+    def test_phase_without_tasks_becomes_constant(self):
+        from repro.engine.simulate import PhaseSchedule
+
+        spans = [self._span(0, "phase", "empty", 0.0, 1.5, phase="empty")]
+        schedule = PhaseSchedule.from_trace(spans)
+        assert schedule.elapsed(1) == schedule.elapsed(8) == pytest.approx(1.5)
+
+    def test_speedup_curve_accepts_schedule(self):
+        from repro.engine.simulate import PhaseSchedule
+
+        schedule = PhaseSchedule.from_trace(self._trace())
+        curve = speedup_curve(schedule, [1, 2])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[2] == pytest.approx(6.0 / 5.0)
+        assert curve == schedule.speedups([1, 2])
+
+    def test_speedup_curve_rejects_overhead_with_schedule(self):
+        from repro.engine.simulate import PhaseSchedule
+
+        with pytest.raises(ValueError, match="serial_overhead_s"):
+            speedup_curve(PhaseSchedule(), [1, 2], serial_overhead_s=1.0)
+
+    def test_round_trip_from_live_engine(self):
+        from repro.engine import Engine
+        from repro.engine.simulate import PhaseSchedule
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        engine = Engine("serial", tracer=tracer)
+        engine.map_tasks(lambda x: x * x, [1, 2, 3, 4], phase="p")
+        schedule = PhaseSchedule.from_trace(tracer.spans)
+        # Four measured tasks: more workers never slow the replay down.
+        assert schedule.elapsed(4) <= schedule.elapsed(1)

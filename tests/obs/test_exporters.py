@@ -1,0 +1,142 @@
+"""Unit tests for the JSONL and Chrome trace exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    TRACE_FORMATS,
+    read_spans_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+    write_trace,
+)
+from repro.obs.spans import Span, Tracer, TraceValidationError
+
+
+@pytest.fixture()
+def trace():
+    """A small but structurally complete trace: fit → phase → task →
+    attempts on two workers, plus a fault event and a setup span."""
+    tracer = Tracer()
+    with tracer.span("fit", "fit"):
+        setup = tracer.start_span("pool_startup", "setup", push=False)
+        tracer.end_span(setup)
+        with tracer.span("II cell graph", "phase", phase="II cell graph") as ph:
+            task = tracer.start_span(
+                "task 0", "task", push=False, phase="II cell graph", task_id=0
+            )
+            tracer.record_span(
+                "task 0#0",
+                "attempt",
+                start_s=task.start_s,
+                end_s=task.start_s + 0.1,
+                parent_id=task.span_id,
+                phase="II cell graph",
+                task_id=0,
+                attempt=0,
+                worker=1111,
+                status="error",
+                annotations={"error": "ValueError()"},
+            )
+            tracer.event("retry", parent_id=ph.span_id, phase="II cell graph")
+            tracer.record_span(
+                "task 0#1",
+                "attempt",
+                start_s=task.start_s + 0.1,
+                end_s=task.start_s + 0.2,
+                parent_id=task.span_id,
+                phase="II cell graph",
+                task_id=0,
+                attempt=1,
+                worker=2222,
+                annotations={"compute_s": 0.1, "winner": True},
+            )
+            task.worker = 2222
+            tracer.end_span(task)
+    return tracer.spans
+
+
+class TestJsonl:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(trace, path)
+        clone = read_spans_jsonl(path)
+        assert clone == trace
+
+    def test_one_record_per_line(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(trace, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(trace)
+        for line in lines:
+            record = json.loads(line)
+            assert {"span_id", "name", "kind", "start_s"} <= set(record)
+
+    def test_refuses_malformed_trace(self, tmp_path):
+        open_span = Span(
+            span_id=0, name="x", kind="phase", start_s=0.0, wall_start_s=0.0
+        )
+        with pytest.raises(TraceValidationError):
+            write_spans_jsonl([open_span], tmp_path / "bad.jsonl")
+        assert not (tmp_path / "bad.jsonl").exists()
+
+
+class TestChromeTrace:
+    def test_structure(self, trace):
+        doc = to_chrome_trace(trace)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        # Metadata names the process, the driver track, and each worker.
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "rp-dbscan" in names and "driver" in names
+        assert "worker 1111" in names and "worker 2222" in names
+        # One X event per non-event span, one instant per fault event.
+        assert len([e for e in events if e["ph"] == "X"]) == len(
+            [s for s in trace if s.kind != "event"]
+        )
+        assert len([e for e in events if e["ph"] == "i"]) == 1
+        # The whole document is valid JSON.
+        json.dumps(doc)
+
+    def test_timestamps_relative_and_nonnegative(self, trace):
+        events = to_chrome_trace(trace)["traceEvents"]
+        stamps = [e["ts"] for e in events if "ts" in e]
+        assert min(stamps) == 0.0
+        assert all(ts >= 0 for ts in stamps)
+        durations = [e["dur"] for e in events if e["ph"] == "X"]
+        assert all(d >= 0 for d in durations)
+
+    def test_attempts_ride_worker_tracks(self, trace):
+        events = to_chrome_trace(trace)["traceEvents"]
+        attempt_tids = {
+            e["tid"] for e in events if e["ph"] == "X" and e["cat"] == "attempt"
+        }
+        driver_tids = {
+            e["tid"] for e in events if e["ph"] == "X" and e["cat"] == "fit"
+        }
+        assert driver_tids == {0}
+        assert attempt_tids and 0 not in attempt_tids
+
+    def test_write_file(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(trace, path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestWriteTrace:
+    def test_dispatch(self, trace, tmp_path):
+        write_trace(trace, tmp_path / "a.jsonl", fmt="jsonl")
+        assert read_spans_jsonl(tmp_path / "a.jsonl") == trace
+        write_trace(trace, tmp_path / "a.json", fmt="chrome")
+        assert json.loads((tmp_path / "a.json").read_text())["traceEvents"]
+
+    def test_unknown_format(self, trace, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(trace, tmp_path / "a.bin", fmt="protobuf")
+
+    def test_formats_constant_matches_dispatch(self):
+        assert TRACE_FORMATS == ("jsonl", "chrome")

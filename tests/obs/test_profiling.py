@@ -1,0 +1,59 @@
+"""Unit tests for per-task cProfile capture and merging."""
+
+import pstats
+
+from repro.obs.profiling import (
+    dump_merged_profile,
+    merge_profile_blobs,
+    profile_call,
+)
+
+
+def _workload(n):
+    return sum(i * i for i in range(n))
+
+
+class TestProfileCall:
+    def test_returns_result_and_blob(self):
+        result, blob = profile_call(_workload, 1000)
+        assert result == _workload(1000)
+        assert isinstance(blob, bytes) and blob
+
+    def test_blob_survives_exception(self):
+        def boom():
+            raise ValueError("x")
+
+        try:
+            profile_call(boom)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception should propagate")
+
+
+class TestMerge:
+    def test_empty_is_none(self):
+        assert merge_profile_blobs([]) is None
+
+    def test_merge_accumulates_calls(self):
+        blobs = [profile_call(_workload, 500)[1] for _ in range(3)]
+        stats = merge_profile_blobs(blobs)
+        assert isinstance(stats, pstats.Stats)
+        workload_rows = [
+            key for key in stats.stats if key[2] == "_workload"
+        ]
+        assert len(workload_rows) == 1
+        cc, nc, tt, ct, callers = stats.stats[workload_rows[0]]
+        assert nc == 3  # one call per merged blob
+
+    def test_dump_round_trips_through_pstats(self, tmp_path):
+        blobs = [profile_call(_workload, 200)[1]]
+        path = tmp_path / "merged.pstats"
+        assert dump_merged_profile(blobs, path) is not None
+        reloaded = pstats.Stats(str(path))
+        assert reloaded.stats
+
+    def test_dump_empty_writes_nothing(self, tmp_path):
+        path = tmp_path / "none.pstats"
+        assert dump_merged_profile([], path) is None
+        assert not path.exists()

@@ -1,0 +1,201 @@
+"""Unit tests for the span tracer and the trace well-formedness contract."""
+
+import pytest
+
+from repro.obs.spans import (
+    EVENT_RESPAWN,
+    EVENT_RETRY,
+    NULL_TRACER,
+    SPAN_KINDS,
+    NullTracer,
+    Span,
+    Tracer,
+    TraceValidationError,
+    validate_trace,
+)
+
+
+class TestTracer:
+    def test_context_manager_nests_and_closes(self):
+        tracer = Tracer()
+        with tracer.span("fit", "fit") as fit:
+            with tracer.span("I-1", "phase", phase="I-1") as phase:
+                pass
+        assert fit.parent_id is None
+        assert phase.parent_id == fit.span_id
+        assert fit.closed and phase.closed
+        assert fit.end_s >= phase.end_s >= phase.start_s >= fit.start_s
+        validate_trace(tracer.spans)
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("fit", "fit"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].status == "error"
+        assert tracer.spans[0].closed
+
+    def test_start_span_without_push_keeps_parent(self):
+        tracer = Tracer()
+        with tracer.span("phase", "phase") as phase:
+            task = tracer.start_span("task 0", "task", push=False, task_id=0)
+            child = tracer.start_span("other", "setup", push=False)
+            tracer.end_span(task)
+            tracer.end_span(child)
+        # Both were parented to the phase (task was never pushed).
+        assert task.parent_id == phase.span_id
+        assert child.parent_id == phase.span_id
+
+    def test_end_span_annotations_and_status(self):
+        tracer = Tracer()
+        span = tracer.start_span("task 3#1", "attempt", task_id=3, attempt=1)
+        tracer.end_span(span, status="timeout", timed_out=True)
+        assert span.status == "timeout"
+        assert span.annotations == {"timed_out": True}
+
+    def test_record_span_accepts_worker_measured_window(self):
+        tracer = Tracer()
+        span = tracer.record_span(
+            "task 0#0",
+            "attempt",
+            start_s=10.0,
+            end_s=10.5,
+            worker=1234,
+            phase="II",
+            task_id=0,
+            attempt=0,
+        )
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.worker == 1234
+        assert span.closed
+        # Back-projected wall time is finite and plausible.
+        assert span.wall_start_s > 0
+
+    def test_event_is_instantaneous(self):
+        tracer = Tracer()
+        event = tracer.event(EVENT_RETRY, phase="II", task_id=1)
+        assert event.kind == "event"
+        assert event.duration_s == 0.0
+        assert tracer.events(EVENT_RETRY) == [event]
+        assert tracer.events(EVENT_RESPAWN) == []
+
+    def test_find_filters_by_kind_and_name(self):
+        tracer = Tracer()
+        with tracer.span("fit", "fit"):
+            with tracer.span("I-1", "phase"):
+                pass
+            with tracer.span("II", "phase"):
+                pass
+        assert len(tracer.find(kind="phase")) == 2
+        assert [s.name for s in tracer.find(kind="phase", name="II")] == ["II"]
+
+    def test_metrics_histogram_fed_on_attempt_close(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry)
+        tracer.record_span(
+            "task 0#0", "attempt", start_s=0.0, end_s=0.25, phase="II"
+        )
+        hist = registry.histogram("task_seconds.II")
+        assert hist.total == 1
+        assert hist.sum == pytest.approx(0.25)
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        with tracer.span("fit", "fit") as span:
+            tracer.event("retry")
+            tracer.end_span(tracer.start_span("x", "task"))
+        assert tracer.spans == []
+        assert span is NULL_TRACER.start_span("y", "phase")
+
+    def test_shared_singleton(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.spans == []
+
+
+def _span(span_id, kind="phase", parent_id=None, start=0.0, end=1.0, name="s"):
+    return Span(
+        span_id=span_id,
+        name=name,
+        kind=kind,
+        start_s=start,
+        wall_start_s=start,
+        end_s=end,
+        parent_id=parent_id,
+    )
+
+
+class TestValidateTrace:
+    def test_accepts_well_formed(self):
+        root = _span(0, kind="fit")
+        child = _span(1, kind="phase", parent_id=0)
+        validate_trace([root, child])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(TraceValidationError, match="duplicate"):
+            validate_trace([_span(0), _span(0)])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceValidationError, match="unknown kind"):
+            validate_trace([_span(0, kind="mystery")])
+
+    def test_rejects_open_span(self):
+        open_span = _span(0)
+        open_span.end_s = None
+        with pytest.raises(TraceValidationError, match="never closed"):
+            validate_trace([open_span])
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(TraceValidationError, match="negative"):
+            validate_trace([_span(0, start=2.0, end=1.0)])
+
+    def test_rejects_missing_parent(self):
+        with pytest.raises(TraceValidationError, match="missing parent"):
+            validate_trace([_span(0, parent_id=99)])
+
+    def test_rejects_container_under_leaf(self):
+        leaf = _span(0, kind="attempt")
+        bad = _span(1, kind="phase", parent_id=0)
+        with pytest.raises(TraceValidationError, match="parented under"):
+            validate_trace([leaf, bad])
+
+
+class TestSpanSerialization:
+    def test_round_trip_preserves_everything(self):
+        span = Span(
+            span_id=7,
+            name="task 3#1",
+            kind="attempt",
+            start_s=1.5,
+            wall_start_s=1e9,
+            end_s=2.0,
+            parent_id=3,
+            worker=4321,
+            phase="II cell graph",
+            task_id=3,
+            attempt=1,
+            epoch=2,
+            status="timeout",
+            annotations={"compute_s": 0.4, "timed_out": True},
+        )
+        clone = Span.from_dict(span.to_dict())
+        assert clone == span
+
+    def test_minimal_record_defaults(self):
+        clone = Span.from_dict(
+            {"span_id": 0, "name": "fit", "kind": "fit", "start_s": 1.0}
+        )
+        assert clone.status == "ok"
+        assert clone.annotations == {}
+        assert clone.wall_start_s == 1.0
+        assert not clone.closed
+
+    def test_kind_vocabulary_is_stable(self):
+        # The exporters and report switch on these exact strings.
+        assert SPAN_KINDS == (
+            "fit", "phase", "driver", "setup", "task", "attempt", "event"
+        )

@@ -59,6 +59,71 @@ class TestCluster:
         assert "clusters=2" in capsys.readouterr().out
 
 
+class TestClusterObservability:
+    BASE = ["--eps", "0.3", "--min-pts", "10", "--partitions", "4"]
+
+    def test_trace_jsonl_written_and_valid(self, point_file, tmp_path, capsys):
+        from repro.obs import read_spans_jsonl, validate_trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["cluster", point_file, *self.BASE, "--trace", str(trace_path)]
+        )
+        assert code == 0
+        assert "trace (jsonl) written" in capsys.readouterr().out
+        spans = read_spans_jsonl(trace_path)
+        validate_trace(spans)
+        assert any(s.kind == "fit" for s in spans)
+        assert any(s.kind == "attempt" for s in spans)
+
+    def test_trace_chrome_format(self, point_file, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "cluster", point_file, *self.BASE,
+                "--trace", str(trace_path), "--trace-format", "chrome",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_report_printed(self, point_file, capsys):
+        code = main(["cluster", point_file, *self.BASE, "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "phase breakdown" in out
+        assert "critical path" in out
+
+    def test_profile_written(self, point_file, tmp_path, capsys):
+        import pstats
+
+        prof_path = tmp_path / "fit.pstats"
+        code = main(
+            ["cluster", point_file, *self.BASE, "--profile", str(prof_path)]
+        )
+        assert code == 0
+        assert "merged cProfile stats written" in capsys.readouterr().out
+        assert pstats.Stats(str(prof_path)).stats
+
+    def test_chaos_ledger_has_respawn_timestamps(self, point_file, capsys):
+        code = main(
+            [
+                "cluster", point_file, *self.BASE,
+                "--engine", "process", "--workers", "2",
+                "--chaos-crash", "0.06", "--chaos-seed", "1",
+                "--max-retries", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault recovery:" in out
+        assert "respawn at" in out and "UTC" in out
+
+
 class TestCompare:
     def test_prints_table(self, point_file, capsys):
         code = main(
