@@ -100,6 +100,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         fault_policy=_fault_policy_from_args(args),
         tracer=tracer,
         profile=bool(args.profile),
+        broadcast_channel=args.broadcast,
     )
     try:
         model = RPDBSCAN(
@@ -119,6 +120,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
     for phase, fraction in result.phase_breakdown().items():
         print(f"  {phase}: {fraction:.1%}")
+    if result.broadcast_bytes:
+        shipped = " ".join(
+            f"{channel}={nbytes}B"
+            for channel, nbytes in sorted(result.broadcast_bytes.items())
+        )
+        print(f"  broadcast ({args.broadcast}): {shipped}")
     if result.fault_events:
         events = " ".join(
             f"{kind}={count}" for kind, count in sorted(result.fault_events.items())
@@ -231,6 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_group.add_argument(
         "--workers", type=int, default=None, help="process-mode worker count"
+    )
+    engine_group.add_argument(
+        "--broadcast",
+        choices=("auto", "pickle", "shm"),
+        default="auto",
+        help="broadcast channel: pickle blobs per worker, one zero-copy "
+        "shared-memory segment, or auto (shm whenever the value carries a "
+        "columnar dictionary; default)",
     )
     engine_group.add_argument(
         "--max-retries",

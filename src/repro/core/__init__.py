@@ -19,11 +19,18 @@ own.
 from repro.core.cell_graph import CellGraph, EdgeType
 from repro.core.cells import CellGeometry, h_for_rho
 from repro.core.construction import QueryContext, SubgraphResult, build_cell_subgraph
-from repro.core.defragmentation import DefragmentedDictionary, SubDictionary, defragment
+from repro.core.defragmentation import (
+    DefragmentedDictionary,
+    FlatDefragmentedDictionary,
+    FlatSubDictionary,
+    SubDictionary,
+    defragment,
+)
 from repro.core.dictionary import (
     CellDictionary,
     CellSummary,
     DictionarySizeModel,
+    FlatCellDictionary,
     summarize_cell,
 )
 from repro.core.labeling import (
@@ -40,7 +47,11 @@ from repro.core.partitioning import (
 )
 from repro.core.prediction import ClusterModel
 from repro.core.region_query import CellBatchQueryResult, RegionQueryEngine
-from repro.core.serialization import deserialize_dictionary, serialize_dictionary
+from repro.core.serialization import (
+    deserialize_dictionary,
+    deserialize_flat_dictionary,
+    serialize_dictionary,
+)
 from repro.core.rp_dbscan import (
     EXACT_RHO,
     PHASE_CELL_GRAPH,
@@ -62,6 +73,7 @@ __all__ = [
     "CellDictionary",
     "CellSummary",
     "DictionarySizeModel",
+    "FlatCellDictionary",
     "summarize_cell",
     "CellGraph",
     "EdgeType",
@@ -69,7 +81,9 @@ __all__ = [
     "SubgraphResult",
     "build_cell_subgraph",
     "DefragmentedDictionary",
+    "FlatDefragmentedDictionary",
     "SubDictionary",
+    "FlatSubDictionary",
     "defragment",
     "LabelingContext",
     "build_labeling_context",
@@ -86,6 +100,7 @@ __all__ = [
     "ClusterModel",
     "serialize_dictionary",
     "deserialize_dictionary",
+    "deserialize_flat_dictionary",
     "PHASES",
     "PHASE_PARTITION",
     "PHASE_DICTIONARY",

@@ -24,8 +24,12 @@ import numpy as np
 
 from repro.core.cell_graph import CellGraph, EdgeType
 from repro.core.cells import CellGeometry
-from repro.core.defragmentation import DefragmentedDictionary, defragment
-from repro.core.dictionary import CellDictionary
+from repro.core.defragmentation import (
+    DefragmentedDictionary,
+    FlatDefragmentedDictionary,
+    defragment,
+)
+from repro.core.dictionary import CellDictionary, FlatCellDictionary
 from repro.core.partitioning import Partition
 from repro.core.region_query import RegionQueryEngine
 
@@ -48,11 +52,13 @@ class QueryContext:
     fallback for direct/driver-side use.
     """
 
-    dictionary: CellDictionary
+    dictionary: CellDictionary | FlatCellDictionary
     strategy: str = "auto"
     defragment_capacity: int | None = None
     _engine: RegionQueryEngine | None = field(default=None, repr=False, compare=False)
-    _defrag: DefragmentedDictionary | None = field(default=None, repr=False, compare=False)
+    _defrag: DefragmentedDictionary | FlatDefragmentedDictionary | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
@@ -76,7 +82,9 @@ class QueryContext:
         return self._engine
 
     @property
-    def defragmented(self) -> DefragmentedDictionary | None:
+    def defragmented(
+        self,
+    ) -> DefragmentedDictionary | FlatDefragmentedDictionary | None:
         """The defragmented dictionary, when enabled (for stats)."""
         self.engine  # ensure built
         return self._defrag
@@ -156,12 +164,19 @@ def build_cell_subgraph(
             core_cells.add(index_map[cell_id])
             # Cells reachable from this cell = union over its core
             # points of the cells holding their neighbor sub-cells.
+            # Candidate rows *are* the dictionary's dense indices, so no
+            # per-tuple index_map lookups are needed on the hot path.
             touched = result.touch[is_core].any(axis=0)
-            touch_by_cell[index_map[cell_id]] = [
-                index_map[cid]
-                for j, cid in enumerate(result.candidate_ids)
-                if touched[j]
-            ]
+            if result.candidate_rows is not None:
+                touch_by_cell[index_map[cell_id]] = result.candidate_rows[
+                    touched
+                ].tolist()
+            else:
+                touch_by_cell[index_map[cell_id]] = [
+                    index_map[cid]
+                    for j, cid in enumerate(result.candidate_ids)
+                    if touched[j]
+                ]
 
     # Second pass: classify owned cells and emit edges.
     for cell_id in partition.cell_slices:

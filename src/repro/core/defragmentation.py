@@ -22,10 +22,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cells import CellGeometry, CellId
-from repro.core.dictionary import CellDictionary, CellSummary
+from repro.core.dictionary import CellDictionary, CellSummary, FlatCellDictionary
 from repro.spatial.mbr import MBR
 
-__all__ = ["SubDictionary", "DefragmentedDictionary", "defragment"]
+__all__ = [
+    "SubDictionary",
+    "DefragmentedDictionary",
+    "FlatSubDictionary",
+    "FlatDefragmentedDictionary",
+    "defragment",
+]
 
 
 @dataclass
@@ -97,24 +103,27 @@ def _best_cut(
 
 
 def defragment(
-    dictionary: CellDictionary, *, capacity: int = 4096
-) -> "DefragmentedDictionary":
+    dictionary: CellDictionary | FlatCellDictionary, *, capacity: int = 4096
+) -> "DefragmentedDictionary | FlatDefragmentedDictionary":
     """Split ``dictionary`` into balanced, contiguous sub-dictionaries.
 
     Parameters
     ----------
     dictionary:
-        The full two-level cell dictionary.
+        The full two-level cell dictionary (either layout; the columnar
+        layout yields index-range views instead of cell copies).
     capacity:
         Maximum number of entries (cells + sub-cells) per sub-dictionary,
         modeling the worker's available memory.
 
     Returns
     -------
-    DefragmentedDictionary
+    DefragmentedDictionary | FlatDefragmentedDictionary
     """
     if capacity < 1:
         raise ValueError("capacity must be >= 1")
+    if isinstance(dictionary, FlatCellDictionary):
+        return _defragment_flat(dictionary, capacity)
     geometry = dictionary.geometry
     items = sorted(dictionary.cells.items())
     pieces: list[dict[CellId, CellSummary]] = []
@@ -208,6 +217,145 @@ class DefragmentedDictionary:
         self.queries += 1
         self.subdicts_consulted += len(touched)
         return len(touched)
+
+    def average_consulted(self) -> float:
+        """Mean sub-dictionaries consulted per query (1.0 is ideal)."""
+        if self.queries == 0:
+            return 0.0
+        return self.subdicts_consulted / self.queries
+
+
+# ----------------------------------------------------------------------
+# Columnar (flat) layout: sub-dictionaries as index views
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FlatSubDictionary:
+    """A disjoint piece of a :class:`FlatCellDictionary`.
+
+    Instead of copying cell summaries, the piece is the set of dense
+    *rows* it owns — a view into the shared columnar arrays.
+
+    Attributes
+    ----------
+    rows:
+        Ascending dense row indices into the owning flat dictionary.
+    mbr:
+        Minimum bounding rectangle of the piece's sub-cell centers.
+    num_entries:
+        Root entries plus leaf entries — the BSP balance weight.
+    """
+
+    rows: np.ndarray
+    mbr: MBR
+    num_entries: int
+
+
+def _defragment_flat(
+    flat: FlatCellDictionary, capacity: int
+) -> "FlatDefragmentedDictionary":
+    """BSP defragmentation over the columnar layout (no cell copies)."""
+    ids = flat.cell_ids
+    weights = 1 + np.diff(flat.offsets)
+    pieces: list[np.ndarray] = []
+
+    def recurse(rows: np.ndarray) -> None:
+        weight = int(weights[rows].sum())
+        if weight <= capacity or rows.size <= 1:
+            pieces.append(rows)
+            return
+        cut = _best_cut(ids[rows], weights[rows])
+        if cut is None:
+            pieces.append(rows)
+            return
+        axis, index = cut
+        order = np.argsort(ids[rows, axis], kind="stable")
+        recurse(np.sort(rows[order[:index]]))
+        recurse(np.sort(rows[order[index:]]))
+
+    if flat.num_cells:
+        recurse(np.arange(flat.num_cells, dtype=np.int64))
+    sub_dicts = []
+    for rows in pieces:
+        if rows.size == 0:
+            continue
+        centers, _, _ = flat.gather_subcells(rows)
+        sub_dicts.append(
+            FlatSubDictionary(
+                rows=rows,
+                mbr=MBR(centers.min(axis=0), centers.max(axis=0)),
+                num_entries=int(weights[rows].sum()),
+            )
+        )
+    return FlatDefragmentedDictionary(flat, sub_dicts)
+
+
+class FlatDefragmentedDictionary:
+    """A columnar cell dictionary organized as disjoint row-range views.
+
+    The flat twin of :class:`DefragmentedDictionary`: same counters and
+    skip test, but ownership is a dense ``(C,)`` array and consulted
+    pieces are computed from candidate *rows* with one ``np.unique``.
+    """
+
+    def __init__(
+        self, dictionary: FlatCellDictionary, sub_dicts: list[FlatSubDictionary]
+    ) -> None:
+        covered = sum(s.rows.size for s in sub_dicts)
+        if covered != dictionary.num_cells:
+            raise ValueError("sub-dictionaries do not exactly cover the dictionary")
+        self.dictionary = dictionary
+        self.sub_dicts = sub_dicts
+        owner = np.full(dictionary.num_cells, -1, dtype=np.int64)
+        for index, sub in enumerate(sub_dicts):
+            if np.any(owner[sub.rows] >= 0):
+                raise ValueError("a cell row appears in two sub-dictionaries")
+            owner[sub.rows] = index
+        self._owner = owner
+        # Query-time statistics (ablation: value of skipping).
+        self.queries = 0
+        self.subdicts_consulted = 0
+
+    @property
+    def geometry(self) -> CellGeometry:
+        """Shared cell geometry."""
+        return self.dictionary.geometry
+
+    @property
+    def num_sub_dicts(self) -> int:
+        """Number of sub-dictionaries after defragmentation."""
+        return len(self.sub_dicts)
+
+    def owner_of(self, cell_id: CellId) -> int:
+        """Index of the sub-dictionary holding ``cell_id``."""
+        return int(self._owner[self.dictionary.row_of(cell_id)])
+
+    def relevant_sub_dicts(self, point: np.ndarray, eps: float) -> list[int]:
+        """Sub-dictionaries that survive the Lemma 5.10 skip test for a
+        query at ``point`` with radius ``eps``.  Updates counters."""
+        kept = [
+            i for i, sub in enumerate(self.sub_dicts) if not sub.mbr.can_skip(point, eps)
+        ]
+        self.queries += 1
+        self.subdicts_consulted += len(kept)
+        return kept
+
+    def record_rows_consulted(self, rows: np.ndarray) -> int:
+        """Track which sub-dictionaries a candidate-row set touches."""
+        touched = np.unique(self._owner[np.asarray(rows, dtype=np.int64)])
+        self.queries += 1
+        self.subdicts_consulted += int(touched.size)
+        return int(touched.size)
+
+    def record_cells_consulted(self, cell_ids: list[CellId]) -> int:
+        """Tuple-keyed twin of :meth:`record_rows_consulted` (API parity
+        with :class:`DefragmentedDictionary`)."""
+        if not cell_ids:
+            self.queries += 1
+            return 0
+        rows = self.dictionary.find_rows(np.asarray(cell_ids, dtype=np.int64))
+        return self.record_rows_consulted(rows[rows >= 0])
 
     def average_consulted(self) -> float:
         """Mean sub-dictionaries consulted per query (1.0 is ideal)."""

@@ -24,8 +24,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cells import CellGeometry, CellId
-from repro.core.defragmentation import DefragmentedDictionary
-from repro.core.dictionary import CellDictionary
+from repro.core.defragmentation import (
+    DefragmentedDictionary,
+    FlatDefragmentedDictionary,
+)
+from repro.core.dictionary import CellDictionary, FlatCellDictionary
 from repro.spatial.cell_index import NeighborCellFinder
 from repro.spatial.distance import pairwise_distances
 
@@ -39,8 +42,8 @@ class CellBatchQueryResult:
     Attributes
     ----------
     candidate_ids:
-        The non-empty cells that could hold (eps, rho)-neighbors, in a
-        deterministic order.
+        The non-empty cells that could hold (eps, rho)-neighbors, in
+        lexicographic order.
     counts:
         ``(n,)`` float64: for each query point, the sum of densities of
         its (eps, rho)-neighbor sub-cells — the approximate
@@ -50,11 +53,16 @@ class CellBatchQueryResult:
         when point ``i`` has at least one neighbor sub-cell inside
         candidate cell ``j`` — the reachability used for edge building
         (Algorithm 3 line 13).
+    candidate_rows:
+        ``(len(candidate_ids),)`` int64: the candidates' dense rows in
+        the dictionary's sorted cell order — directly usable as cell
+        graph vertex ids, no per-tuple ``index_map`` lookups.
     """
 
     candidate_ids: list[CellId]
     counts: np.ndarray
     touch: np.ndarray
+    candidate_rows: np.ndarray | None = None
 
 
 class RegionQueryEngine:
@@ -63,8 +71,8 @@ class RegionQueryEngine:
     Parameters
     ----------
     dictionary:
-        Either a plain :class:`CellDictionary` or a
-        :class:`DefragmentedDictionary` (enables sub-dictionary-skipping
+        A :class:`CellDictionary` or :class:`FlatCellDictionary`, or
+        their defragmented wrappers (enables sub-dictionary-skipping
         accounting; results are identical).
     strategy:
         Candidate-cell search: ``"enumerate"`` (integer offsets),
@@ -74,19 +82,30 @@ class RegionQueryEngine:
 
     def __init__(
         self,
-        dictionary: CellDictionary | DefragmentedDictionary,
+        dictionary: (
+            CellDictionary
+            | FlatCellDictionary
+            | DefragmentedDictionary
+            | FlatDefragmentedDictionary
+        ),
         *,
         strategy: str = "auto",
     ) -> None:
-        if isinstance(dictionary, DefragmentedDictionary):
-            self._defrag: DefragmentedDictionary | None = dictionary
-            self._dict = dictionary.dictionary
+        if isinstance(dictionary, (DefragmentedDictionary, FlatDefragmentedDictionary)):
+            self._defrag = dictionary
+            inner = dictionary.dictionary
         else:
             self._defrag = None
-            self._dict = dictionary
-        self.geometry: CellGeometry = self._dict.geometry
+            inner = dictionary
+        self._flat = inner if isinstance(inner, FlatCellDictionary) else None
+        self._dict = inner
+        self.geometry: CellGeometry = inner.geometry
+        # The finder consumes the lexicographically sorted id array, so
+        # its rows are the dictionary's dense indices and every candidate
+        # list comes back in a deterministic (lexicographic) order.
+        ids = inner.cell_ids if self._flat is not None else inner.cell_ids_array()
         self._finder = NeighborCellFinder(
-            set(self._dict.cells),
+            ids,
             self.geometry.side,
             self.geometry.eps,
             strategy=strategy,
@@ -100,7 +119,7 @@ class RegionQueryEngine:
     def candidate_cells(self, cell_id: CellId) -> list[CellId]:
         """Non-empty cells whose box lies within ``eps`` of ``cell_id``'s
         box — a superset of every point-level candidate set for points in
-        that cell.  Deterministically ordered."""
+        that cell.  Lexicographically ordered."""
         return self._finder.candidates(cell_id)
 
     # ------------------------------------------------------------------
@@ -119,20 +138,28 @@ class RegionQueryEngine:
         eps = self.geometry.eps
         eps2 = eps * eps
         side = self.geometry.side
-        candidates = self.candidate_cells(cell_id)
+        rows = self._finder.candidate_rows(cell_id)
+        candidate_array = self._finder.cell_ids[rows]
+        candidates = [tuple(row) for row in candidate_array.tolist()]
         if self._defrag is not None:
-            self._defrag.record_cells_consulted(candidates)
+            if isinstance(self._defrag, FlatDefragmentedDictionary):
+                self._defrag.record_rows_consulted(rows)
+            else:
+                self._defrag.record_cells_consulted(candidates)
         n = pts.shape[0]
         m = len(candidates)
         counts = np.zeros(n, dtype=np.float64)
         touch = np.zeros((n, m), dtype=bool)
         if n == 0 or m == 0:
             return CellBatchQueryResult(
-                candidate_ids=candidates, counts=counts, touch=touch
+                candidate_ids=candidates,
+                counts=counts,
+                touch=touch,
+                candidate_rows=rows,
             )
 
         # Point-to-box distances for all candidates at once: (n, m, d).
-        los = np.asarray(candidates, dtype=np.float64) * side  # (m, d)
+        los = candidate_array.astype(np.float64) * side  # (m, d)
         diff_lo = los[None, :, :] - pts[:, None, :]
         diff_hi = -diff_lo - side  # pts - (los + side)
         gap = np.maximum(np.maximum(diff_lo, diff_hi), 0.0)
@@ -144,9 +171,12 @@ class RegionQueryEngine:
         # candidate box is inside the query ball, so every sub-cell
         # center is a neighbor.
         full = max_d2 <= eps2
-        cell_counts = np.array(
-            [self._dict.cells[c].count for c in candidates], dtype=np.float64
-        )
+        if self._flat is not None:
+            cell_counts = self._flat.cell_counts[rows].astype(np.float64)
+        else:
+            cell_counts = np.array(
+                [self._dict.cells[c].count for c in candidates], dtype=np.float64
+            )
         counts += full @ cell_counts
         touch |= full
 
@@ -155,14 +185,22 @@ class RegionQueryEngine:
         partial = near & ~full  # (n, m)
         partial_cols = np.nonzero(partial.any(axis=0))[0]
         if partial_cols.size:
-            center_blocks = [
-                self._dict.sub_cell_centers(candidates[j]) for j in partial_cols
-            ]
-            density_blocks = [self._dict.densities(candidates[j]) for j in partial_cols]
-            sizes = np.array([block.shape[0] for block in center_blocks])
+            if self._flat is not None:
+                # One vectorized CSR gather over the columnar arrays.
+                centers, densities, sizes = self._flat.gather_subcells(
+                    rows[partial_cols]
+                )
+            else:
+                center_blocks = [
+                    self._dict.sub_cell_centers(candidates[j]) for j in partial_cols
+                ]
+                density_blocks = [
+                    self._dict.densities(candidates[j]) for j in partial_cols
+                ]
+                sizes = np.array([block.shape[0] for block in center_blocks])
+                centers = np.concatenate(center_blocks)  # (M, d)
+                densities = np.concatenate(density_blocks)  # (M,)
             starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
-            centers = np.concatenate(center_blocks)  # (M, d)
-            densities = np.concatenate(density_blocks)  # (M,)
             col_of = np.repeat(np.arange(partial_cols.size), sizes)
             within = pairwise_distances(pts, centers) <= eps  # (n, M)
             # A fully-contained candidate was already counted wholesale;
@@ -171,7 +209,12 @@ class RegionQueryEngine:
             counts += within @ densities
             seg_hits = np.add.reduceat(within, starts, axis=1) > 0
             touch[:, partial_cols] |= seg_hits
-        return CellBatchQueryResult(candidate_ids=candidates, counts=counts, touch=touch)
+        return CellBatchQueryResult(
+            candidate_ids=candidates,
+            counts=counts,
+            touch=touch,
+            candidate_rows=rows,
+        )
 
     # ------------------------------------------------------------------
     # Single-point query (tests, exploration)

@@ -27,6 +27,7 @@ from repro.core.construction import QueryContext, SubgraphResult, build_cell_sub
 from repro.core.dictionary import (
     CellDictionary,
     DictionarySizeModel,
+    FlatCellDictionary,
     summarize_cell,
 )
 from repro.core.labeling import (
@@ -85,7 +86,12 @@ def _dictionary_from_partition(partition: Partition, geometry: CellGeometry) -> 
     return CellDictionary(geometry, cells)
 
 
-def _dictionary_worker(partition: Partition, geometry: CellGeometry) -> CellDictionary:
+def _dictionary_worker(partition: Partition, broadcast):
+    geometry, layout = broadcast
+    if layout == "flat":
+        # One vectorized pass over the whole partition — no per-cell
+        # python loop (Algorithm 2's Map step over arrays).
+        return FlatCellDictionary.from_points(partition.points, geometry)
     return _dictionary_from_partition(partition, geometry)
 
 
@@ -188,6 +194,14 @@ class RPDBSCANResult:
         return dict(self.counters.fault_events)
 
     @property
+    def broadcast_bytes(self) -> dict[str, int]:
+        """Broadcast payload bytes of this run, by channel (``"pickle"``,
+        ``"shm"``, ``"shm_segment"``) — the serialized-bytes side of the
+        engine's fan-outs.  Empty when nothing was shipped (serial
+        mode)."""
+        return dict(self.counters.broadcast_bytes)
+
+    @property
     def points_processed(self) -> int:
         """Total points processed across splits in local clustering.
 
@@ -244,6 +258,12 @@ class RPDBSCAN:
         When set, the broadcast dictionary is defragmented into
         sub-dictionaries of at most this many entries (Sec 4.2.2) and
         sub-dictionary-skipping statistics are collected.
+    dictionary_layout:
+        ``"flat"`` (default) builds the columnar
+        :class:`~repro.core.dictionary.FlatCellDictionary` — vectorized
+        Phase I-2, CSR region queries, and shared-memory-broadcast
+        eligible.  ``"dict"`` keeps the dict-of-dataclass layout; both
+        produce bit-identical labels.
 
     Examples
     --------
@@ -270,6 +290,7 @@ class RPDBSCAN:
         candidate_strategy: str = "auto",
         fault_policy: FaultPolicy | None = None,
         defragment_capacity: int | None = None,
+        dictionary_layout: str = "flat",
     ) -> None:
         if eps <= 0:
             raise ValueError("eps must be positive")
@@ -277,6 +298,11 @@ class RPDBSCAN:
             raise ValueError("min_pts must be >= 1")
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
+        if dictionary_layout not in ("flat", "dict"):
+            raise ValueError(
+                f"dictionary_layout must be 'flat' or 'dict', got "
+                f"{dictionary_layout!r}"
+            )
         self.eps = float(eps)
         self.min_pts = int(min_pts)
         self.num_partitions = int(num_partitions)
@@ -289,6 +315,7 @@ class RPDBSCAN:
         if fault_policy is not None:
             self.engine.fault_policy = fault_policy
         self.defragment_capacity = defragment_capacity
+        self.dictionary_layout = dictionary_layout
 
     def fit(self, points: np.ndarray) -> RPDBSCANResult:
         """Cluster ``points`` and return the full result object.
@@ -358,14 +385,17 @@ class RPDBSCAN:
         partials = self.engine.map_tasks(
             _dictionary_worker,
             [p for p in partitions if p.num_points > 0],
-            broadcast=geometry,
+            broadcast=(geometry, self.dictionary_layout),
             phase=PHASE_DICTIONARY,
             item_counter=lambda p: p.num_cells,
         )
         with counters.timed_phase(PHASE_DICTIONARY), tracer.span(
             f"{PHASE_DICTIONARY} (driver merge)", "driver", phase=PHASE_DICTIONARY
         ):
-            dictionary = CellDictionary.merge(partials)
+            if self.dictionary_layout == "flat":
+                dictionary = FlatCellDictionary.merge(partials)
+            else:
+                dictionary = CellDictionary.merge(partials)
             context = QueryContext(
                 dictionary,
                 strategy=self.candidate_strategy,

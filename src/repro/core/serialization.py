@@ -22,9 +22,14 @@ import struct
 import numpy as np
 
 from repro.core.cells import CellGeometry, CellId
-from repro.core.dictionary import CellDictionary, CellSummary
+from repro.core.dictionary import CellDictionary, CellSummary, FlatCellDictionary
 
-__all__ = ["serialize_dictionary", "deserialize_dictionary", "HEADER_BYTES"]
+__all__ = [
+    "serialize_dictionary",
+    "deserialize_dictionary",
+    "deserialize_flat_dictionary",
+    "HEADER_BYTES",
+]
 
 _MAGIC = b"RPD1"
 # magic, eps, rho, dim, num_cells
@@ -36,51 +41,67 @@ HEADER_BYTES = _HEADER.size
 
 def _pack_local_coords(coords: np.ndarray, bits_per_axis: int) -> bytes:
     """Pack ``(k, d)`` local sub-cell coordinates into a byte string,
-    ``bits_per_axis`` bits per coordinate, row-major."""
+    ``bits_per_axis`` bits per coordinate, row-major, LSB-first (bit
+    position ``p`` lands in byte ``p >> 3``, bit ``p & 7``)."""
     if coords.size == 0:
         return b""
-    flat = coords.astype(np.uint64).reshape(-1)
-    total_bits = flat.size * bits_per_axis
-    out = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
-    bit = 0
-    for value in flat:
-        value = int(value)
-        for offset in range(bits_per_axis):
-            if value >> offset & 1:
-                position = bit + offset
-                out[position >> 3] |= 1 << (position & 7)
-        bit += bits_per_axis
-    return out.tobytes()
+    flat = coords.astype(np.uint16).reshape(-1)
+    bits = (flat[:, None] >> np.arange(bits_per_axis, dtype=np.uint16)) & 1
+    bits = bits.reshape(-1).astype(np.uint8)
+    pad = (-bits.size) % 8
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+    return np.packbits(bits, bitorder="little").tobytes()
 
 
 def _unpack_local_coords(
     data: bytes, count: int, dim: int, bits_per_axis: int
 ) -> np.ndarray:
     """Inverse of :func:`_pack_local_coords` for ``count`` sub-cells."""
-    coords = np.zeros(count * dim, dtype=np.uint16)
     if count == 0:
-        return coords.reshape(0, dim)
+        return np.zeros((0, dim), dtype=np.uint16)
     raw = np.frombuffer(data, dtype=np.uint8)
-    bit = 0
-    for i in range(coords.size):
-        value = 0
-        for offset in range(bits_per_axis):
-            position = bit + offset
-            if raw[position >> 3] >> (position & 7) & 1:
-                value |= 1 << offset
-        coords[i] = value
-        bit += bits_per_axis
-    return coords.reshape(count, dim)
+    total_bits = count * dim * bits_per_axis
+    bits = np.unpackbits(raw, bitorder="little", count=total_bits)
+    weights = np.int64(1) << np.arange(bits_per_axis, dtype=np.int64)
+    values = bits.reshape(-1, bits_per_axis).astype(np.int64) @ weights
+    return values.astype(np.uint16).reshape(count, dim)
 
 
-def serialize_dictionary(dictionary: CellDictionary) -> bytes:
-    """Encode ``dictionary`` into the paper's compact byte layout."""
+def serialize_dictionary(
+    dictionary: CellDictionary | FlatCellDictionary,
+) -> bytes:
+    """Encode ``dictionary`` into the paper's compact byte layout.
+
+    Both layouts produce byte-identical streams: cells are written in
+    lexicographic order, which is the columnar layout's native row
+    order, so the flat encoder just walks CSR slices.
+    """
     geometry = dictionary.geometry
     dim = geometry.dim
     bits_per_axis = geometry.h - 1
     parts = [
         _HEADER.pack(_MAGIC, geometry.eps, geometry.rho, dim, dictionary.num_cells)
     ]
+    if isinstance(dictionary, FlatCellDictionary):
+        origins = (dictionary.cell_ids.astype(np.float64) * geometry.side).astype(
+            np.float32
+        )
+        offsets = dictionary.offsets
+        for row in range(dictionary.num_cells):
+            start, stop = int(offsets[row]), int(offsets[row + 1])
+            parts.append(origins[row].tobytes())
+            parts.append(
+                struct.pack("<ii", int(dictionary.cell_counts[row]), stop - start)
+            )
+            parts.append(dictionary.sub_counts[start:stop].astype(np.int32).tobytes())
+            if bits_per_axis:
+                parts.append(
+                    _pack_local_coords(
+                        dictionary.sub_coords[start:stop], bits_per_axis
+                    )
+                )
+        return b"".join(parts)
     for cell_id in sorted(dictionary.cells):
         summary = dictionary.cells[cell_id]
         # Root entry: exact cell position (d float32) + density (int32).
@@ -131,3 +152,68 @@ def deserialize_dictionary(data: bytes) -> CellDictionary:
             count=count, sub_coords=sub_coords, sub_counts=sub_counts
         )
     return CellDictionary(geometry, cells)
+
+
+def deserialize_flat_dictionary(data: bytes) -> FlatCellDictionary:
+    """Decode a dictionary stream directly into the columnar layout.
+
+    The stream stores cells in lexicographic order — exactly the flat
+    layout's row order — so decoding is a single forward walk appending
+    to the columnar arrays, no dict materialization.
+    """
+    magic, eps, rho, dim, num_cells = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ValueError("not an RP-DBSCAN dictionary stream")
+    geometry = CellGeometry(eps, dim, rho)
+    bits_per_axis = geometry.h - 1
+    side = geometry.side
+    offset = _HEADER.size
+    cell_ids = np.empty((num_cells, dim), dtype=np.int64)
+    cell_counts = np.empty(num_cells, dtype=np.int64)
+    sizes = np.empty(num_cells, dtype=np.int64)
+    coord_blocks: list[np.ndarray] = []
+    count_blocks: list[np.ndarray] = []
+    for row in range(num_cells):
+        origin = np.frombuffer(data, dtype=np.float32, count=dim, offset=offset)
+        offset += 4 * dim
+        count, num_subcells = struct.unpack_from("<ii", data, offset)
+        offset += 8
+        count_blocks.append(
+            np.frombuffer(
+                data, dtype=np.int32, count=num_subcells, offset=offset
+            ).astype(np.int64)
+        )
+        offset += 4 * num_subcells
+        if bits_per_axis:
+            packed_bytes = (num_subcells * dim * bits_per_axis + 7) // 8
+            coord_blocks.append(
+                _unpack_local_coords(
+                    data[offset : offset + packed_bytes],
+                    num_subcells,
+                    dim,
+                    bits_per_axis,
+                )
+            )
+            offset += packed_bytes
+        else:
+            coord_blocks.append(np.zeros((num_subcells, dim), dtype=np.uint16))
+        # float32 origins carry rounding; snap to the nearest cell index.
+        cell_ids[row] = np.rint(origin.astype(np.float64) / side).astype(np.int64)
+        cell_counts[row] = count
+        sizes[row] = num_subcells
+    offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+    if num_cells:
+        sub_coords = np.concatenate(coord_blocks)
+        sub_counts = np.concatenate(count_blocks)
+    else:
+        sub_coords = np.empty((0, dim), dtype=np.uint16)
+        sub_counts = np.empty(0, dtype=np.int64)
+    return FlatCellDictionary(
+        geometry,
+        cell_ids,
+        cell_counts,
+        offsets,
+        sub_coords,
+        sub_counts,
+        validate=False,
+    )

@@ -57,6 +57,11 @@ from repro.engine.faults import (
 )
 from repro.engine.simulate import PhaseSchedule, makespan, speedup_curve
 
+# Imported after executors: shm depends on repro.core, whose orchestrator
+# imports repro.engine.executors back — this ordering keeps the cycle
+# resolvable from either entry point.
+from repro.engine.shm import SHM_NAME_PREFIX, ShmSegmentHandle
+
 __all__ = [
     "Engine",
     "Counters",
@@ -77,4 +82,6 @@ __all__ = [
     "makespan",
     "speedup_curve",
     "PhaseSchedule",
+    "ShmSegmentHandle",
+    "SHM_NAME_PREFIX",
 ]

@@ -86,6 +86,7 @@ class CountersMark:
     phase_seconds: dict[str, float]
     setup_seconds: dict[str, float]
     fault_events: dict[str, int] = field(default_factory=dict)
+    broadcast_bytes: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -103,6 +104,11 @@ class Counters:
     #: ``engine.retries``/``engine.timeouts``/``engine.respawns``
     #: buckets.  Counts, not seconds; excluded from every timing view.
     fault_events: dict[str, int] = field(default_factory=dict)
+    #: Broadcast payload bytes by channel (``"pickle"``, ``"shm"``, plus
+    #: ``"shm_segment"`` for the shared-memory segment the ``shm``
+    #: channel maps instead of copying).  Serialized-bytes accounting of
+    #: the engine's broadcast fan-outs; no timing semantics.
+    broadcast_bytes: dict[str, int] = field(default_factory=dict)
     #: The metrics registry this shim mirrors into (see the module
     #: docstring for the bucket → metric name mapping).
     registry: MetricsRegistry = field(default_factory=MetricsRegistry, repr=False)
@@ -129,6 +135,15 @@ class Counters:
         """Count ``count`` fault-recovery events of ``kind``."""
         self.fault_events[kind] = self.fault_events.get(kind, 0) + count
         self.registry.counter(f"fault_events.{kind}").inc(count)
+
+    def add_broadcast_bytes(self, channel: str, nbytes: int) -> None:
+        """Account ``nbytes`` of broadcast payload under ``channel``."""
+        self.broadcast_bytes[channel] = self.broadcast_bytes.get(channel, 0) + nbytes
+        self.registry.counter(f"broadcast_bytes.{channel}").inc(nbytes)
+
+    def broadcast_total_bytes(self) -> int:
+        """Total broadcast bytes across every channel."""
+        return sum(self.broadcast_bytes.values())
 
     def fault_event_count(self, kind: str) -> int:
         """Number of fault-recovery events recorded under ``kind``."""
@@ -235,6 +250,7 @@ class Counters:
             phase_seconds=dict(self.phase_seconds),
             setup_seconds=dict(self.setup_seconds),
             fault_events=dict(self.fault_events),
+            broadcast_bytes=dict(self.broadcast_bytes),
         )
 
     def since(self, mark: CountersMark) -> Counters:
@@ -263,4 +279,8 @@ class Counters:
             diff = count - mark.fault_events.get(kind, 0)
             if diff > 0:
                 delta.add_fault_event(kind, diff)
+        for channel, nbytes in self.broadcast_bytes.items():
+            diff = nbytes - mark.broadcast_bytes.get(channel, 0)
+            if diff > 0:
+                delta.add_broadcast_bytes(channel, diff)
         return delta

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import pickle
 import statistics
 import time
 from collections import deque
@@ -108,32 +109,62 @@ _WORKER_BROADCAST: Any = None
 _WORKER_EPOCH: int = -1
 _WORKER_BARRIER: Any = None
 _WORKER_INSTALLS: int = 0
+#: The shared-memory attachment backing the current broadcast (shm
+#: channel only); kept so a later install can unmap the previous epoch.
+_WORKER_SHM: Any = None
 
 
 def _init_worker(barrier: Any) -> None:
     """Pool initializer: reset the broadcast cache, keep the barrier."""
     global _WORKER_BROADCAST, _WORKER_EPOCH, _WORKER_BARRIER, _WORKER_INSTALLS
+    global _WORKER_SHM
     _WORKER_BARRIER = barrier
     _WORKER_BROADCAST = None
     _WORKER_EPOCH = -1
     _WORKER_INSTALLS = 0
+    _WORKER_SHM = None
 
 
 def _install_broadcast(
-    payload: tuple[int, Any, Callable[[Any], Any] | None],
+    payload: tuple[int, str, bytes, Any, Callable[[Any], Any] | None],
 ) -> tuple[int, int, float]:
     """Install one broadcast epoch in this worker, then rendezvous.
+
+    ``payload`` is ``(epoch, channel, blob, handle, warmup)``: the value
+    arrives pre-pickled by the driver (``blob``), either self-contained
+    (``channel == "pickle"``) or with its flat-dictionary arrays hoisted
+    into the shared-memory segment named by ``handle`` (``channel ==
+    "shm"``), in which case the worker attaches the segment and rebuilds
+    the value around zero-copy read-only views.
 
     The trailing ``barrier.wait()`` keeps this worker busy until *every*
     worker has taken exactly one install task, which is what guarantees
     the fan-out reaches the whole pool instead of piling onto one idle
     worker.
     """
-    epoch, value, warmup = payload
-    global _WORKER_BROADCAST, _WORKER_EPOCH, _WORKER_INSTALLS
+    epoch, channel, blob, handle, warmup = payload
+    global _WORKER_BROADCAST, _WORKER_EPOCH, _WORKER_INSTALLS, _WORKER_SHM
+    if channel == "shm":
+        from repro.engine import shm as _shm
+
+        segment = _shm.attach_segment(handle)
+        value = _shm.import_broadcast(blob, handle, segment)
+    else:
+        segment = None
+        value = pickle.loads(blob)
+    previous = _WORKER_SHM
     _WORKER_BROADCAST = value
+    _WORKER_SHM = segment
     _WORKER_EPOCH = epoch
     _WORKER_INSTALLS += 1
+    if previous is not None:
+        # The prior epoch's views just became garbage; unmap them.  A
+        # lingering reference would make close() raise — leave the unmap
+        # to process exit in that case rather than fail the install.
+        try:
+            previous.close()
+        except Exception:
+            pass
     warm_seconds = 0.0
     if warmup is not None:
         start = time.perf_counter()
@@ -237,6 +268,18 @@ class Engine:
         When ``True``, every task body runs under ``cProfile``; the
         per-task profiles accumulate in :attr:`profile_blobs` and merge
         via :meth:`merged_profile` / :meth:`dump_profile`.
+    broadcast_channel:
+        How broadcast values cross the process boundary: ``"pickle"``
+        ships one self-contained pickle blob per worker; ``"shm"`` hoists
+        every :class:`~repro.core.dictionary.FlatCellDictionary` inside
+        the value into a single ``multiprocessing.shared_memory`` segment
+        that workers map zero-copy, pickling only a small descriptor;
+        ``"auto"`` (default) uses ``shm`` whenever the value contains a
+        flat dictionary and ``pickle`` otherwise.  A forced ``"shm"``
+        likewise degrades to a plain blob when there is nothing columnar
+        to hoist.  Bytes shipped per channel are accounted in
+        :attr:`Counters.broadcast_bytes`; segments are unlinked on
+        :meth:`close`, pool re-spawn, and interpreter exit.
 
     Notes
     -----
@@ -263,10 +306,17 @@ class Engine:
         fault_policy: FaultPolicy | None = None,
         tracer: Tracer | None = None,
         profile: bool = False,
+        broadcast_channel: str = "auto",
     ) -> None:
         if mode not in ("serial", "process"):
             raise ValueError(f"unknown engine mode {mode!r}")
+        if broadcast_channel not in ("auto", "pickle", "shm"):
+            raise ValueError(
+                f"unknown broadcast channel {broadcast_channel!r}; "
+                "choose 'auto', 'pickle', or 'shm'"
+            )
         self.mode = mode
+        self.broadcast_channel = broadcast_channel
         if num_workers is not None and num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers if num_workers is not None else _default_workers()
@@ -286,6 +336,9 @@ class Engine:
         self._closed = False
         # Serial-mode warm-up dedup (same identity semantics as shipping).
         self._warmed_broadcast: Any = _NOTHING
+        #: Live shared-memory segments this driver created (shm channel);
+        #: every one is unlinked on teardown/close — crash paths included.
+        self._segments: list[Any] = []
         # Lifetime diagnostics.
         self.pools_created = 0
         self.broadcast_ships = 0
@@ -329,6 +382,16 @@ class Engine:
                 pool.join()
             except Exception:
                 pass
+        self._destroy_segments()
+
+    def _destroy_segments(self) -> None:
+        """Unlink every live shared-memory segment this driver created."""
+        segments, self._segments = self._segments, []
+        if segments:
+            from repro.engine.shm import destroy_segment
+
+            for segment in segments:
+                destroy_segment(segment)
 
     def __del__(self) -> None:
         pool = getattr(self, "_pool", None)
@@ -337,6 +400,10 @@ class Engine:
                 pool.terminate()
             except Exception:
                 pass
+        try:
+            self._destroy_segments()
+        except Exception:
+            pass
 
     def _ensure_pool(self) -> Any:
         if self._pool is None:
@@ -947,6 +1014,28 @@ class Engine:
     # Broadcast shipping
     # ------------------------------------------------------------------
 
+    def _encode_broadcast(self, broadcast: Any) -> tuple[str, bytes, Any, Any]:
+        """Serialize ``broadcast`` for fan-out on the configured channel.
+
+        Returns ``(channel, blob, handle, segment)``.  ``auto`` (and a
+        forced ``shm``) resolves to the shared-memory channel only when
+        the value actually contains flat dictionaries to hoist; anything
+        else ships as a plain pickle blob — there is nothing zero-copy
+        about arbitrary Python objects.
+        """
+        if self.broadcast_channel == "pickle":
+            blob = pickle.dumps(broadcast, protocol=pickle.HIGHEST_PROTOCOL)
+            return "pickle", blob, None, None
+        from repro.engine import shm as _shm
+
+        blob, flats = _shm.export_broadcast(broadcast)
+        if not flats:
+            # No columnar payload: the export blob has no persistent ids,
+            # so it is an ordinary pickle stream.
+            return "pickle", blob, None, None
+        handle, segment = _shm.create_segment(flats)
+        return "shm", blob, handle, segment
+
     def _ship_broadcast(
         self, broadcast: Any, warmup: Callable[[Any], Any] | None
     ) -> None:
@@ -954,14 +1043,38 @@ class Engine:
         if broadcast is self._shipped_broadcast:
             return
         self._shipped_epoch += 1
+        channel, blob, handle, segment = self._encode_broadcast(broadcast)
         ship_span = self.tracer.start_span(
-            "broadcast_ship", "setup", push=False, epoch=self._shipped_epoch
+            "broadcast_ship", "setup", push=False, epoch=self._shipped_epoch,
+            annotations={
+                "channel": channel,
+                "payload_bytes": len(blob),
+                "segment_bytes": segment.size if segment is not None else 0,
+            },
         )
         start = time.perf_counter()
-        payloads = [(self._shipped_epoch, broadcast, warmup)] * self.num_workers
-        installs = self._pool.map(_install_broadcast, payloads, chunksize=1)
+        payloads = [
+            (self._shipped_epoch, channel, blob, handle, warmup)
+        ] * self.num_workers
+        try:
+            installs = self._pool.map(_install_broadcast, payloads, chunksize=1)
+        except BaseException:
+            # Fan-out failed: nobody holds the new segment, reclaim it.
+            if segment is not None:
+                from repro.engine.shm import destroy_segment
+
+                destroy_segment(segment)
+            raise
         wall = time.perf_counter() - start
         self.tracer.end_span(ship_span, warmed=warmup is not None)
+        # Every worker has attached the new epoch (and unmapped the old
+        # one), so the previous segments can be unlinked now.
+        self._destroy_segments()
+        if segment is not None:
+            self._segments.append(segment)
+        self.counters.add_broadcast_bytes(channel, len(blob))
+        if segment is not None:
+            self.counters.add_broadcast_bytes("shm_segment", segment.size)
         warm_wall = max(w for _, _, w in installs) if warmup is not None else 0.0
         # Warm-ups run concurrently across workers, so the slowest one is
         # the wall-clock share of the fan-out attributable to warm-up.

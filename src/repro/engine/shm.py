@@ -1,0 +1,240 @@
+"""Zero-copy broadcast of columnar dictionaries via shared memory.
+
+The flat cell dictionary is six contiguous numpy arrays; pickling it
+copies every byte into the pipe of every worker.  This module instead
+packs those arrays once into one ``multiprocessing.shared_memory``
+segment and pickles only a small :class:`ShmSegmentHandle` descriptor —
+workers attach the segment and rebuild read-only array views over it,
+so the dictionary crosses the process boundary exactly once regardless
+of the worker count.
+
+The mechanism is transparent to the broadcast *value*: a custom pickler
+(:func:`export_broadcast`) walks the object graph and swaps every
+:class:`~repro.core.dictionary.FlatCellDictionary` it meets — no matter
+how deeply nested inside ``QueryContext``/``LabelingContext``/tuples —
+for a persistent-id reference into the segment; the worker-side
+unpickler (:func:`import_broadcast`) resolves those references to the
+attached views.  A broadcast containing no flat dictionary exports to a
+plain pickle stream (loadable with ``pickle.loads``), which is how the
+engine's ``auto`` channel decides between ``shm`` and ``pickle``.
+
+Segment lifecycle is owned by the driver: it creates and ultimately
+unlinks every segment (:func:`destroy_segment`); workers only ever map
+and unmap (:func:`attach_segment`).  Segment names carry the
+:data:`SHM_NAME_PREFIX` so tests can scan ``/dev/shm`` for leaks.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.core.cells import CellGeometry
+from repro.core.dictionary import FlatCellDictionary
+
+__all__ = [
+    "ARRAY_FIELDS",
+    "SHM_NAME_PREFIX",
+    "ShmSegmentHandle",
+    "export_broadcast",
+    "create_segment",
+    "attach_segment",
+    "import_broadcast",
+    "destroy_segment",
+]
+
+#: The columnar arrays shipped per flat dictionary, in segment order.
+ARRAY_FIELDS = (
+    "cell_ids",
+    "cell_counts",
+    "offsets",
+    "sub_coords",
+    "sub_counts",
+    "sub_centers",
+)
+
+#: Prefix of every segment name this module creates (leak scans key on it).
+SHM_NAME_PREFIX = "rpdbscan_"
+
+#: Byte alignment of each array inside the segment.
+_ALIGN = 64
+
+_PID_TAG = "rpdbscan-flat"
+
+
+@dataclass(frozen=True)
+class ShmSegmentHandle:
+    """Driver→worker descriptor of one shared-memory broadcast segment.
+
+    Attributes
+    ----------
+    name:
+        The OS-level segment name (``/dev/shm/<name>`` on Linux).
+    size:
+        Segment size in bytes.
+    flats:
+        Per flat dictionary: its geometry plus, for each of
+        :data:`ARRAY_FIELDS`, the ``(offset, dtype, shape)`` of the
+        array inside the segment.
+    """
+
+    name: str
+    size: int
+    flats: tuple[tuple[CellGeometry, tuple[tuple[int, str, tuple[int, ...]], ...]], ...]
+
+
+class _ExportPickler(pickle.Pickler):
+    """Pickler that hoists every flat dictionary out of the stream."""
+
+    def __init__(self, file: io.BytesIO) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.flats: list[FlatCellDictionary] = []
+        self._seen: dict[int, int] = {}
+
+    def persistent_id(self, obj: Any):  # noqa: D102 (pickle hook)
+        if isinstance(obj, FlatCellDictionary):
+            index = self._seen.get(id(obj))
+            if index is None:
+                index = len(self.flats)
+                self._seen[id(obj)] = index
+                self.flats.append(obj)
+            return (_PID_TAG, index)
+        return None
+
+
+class _ImportUnpickler(pickle.Unpickler):
+    """Unpickler resolving flat-dictionary references to attached views."""
+
+    def __init__(self, file: io.BytesIO, flats: list[FlatCellDictionary]) -> None:
+        super().__init__(file)
+        self._flats = flats
+
+    def persistent_load(self, pid: Any) -> Any:  # noqa: D102 (pickle hook)
+        tag, index = pid
+        if tag != _PID_TAG:
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        return self._flats[index]
+
+
+def export_broadcast(value: Any) -> tuple[bytes, list[FlatCellDictionary]]:
+    """Pickle ``value`` with every flat dictionary pulled out by reference.
+
+    Returns ``(blob, flats)``.  With ``flats`` empty, ``blob`` is an
+    ordinary pickle stream (no persistent ids), loadable by
+    ``pickle.loads`` — the caller can ship it over the plain channel.
+    """
+    buffer = io.BytesIO()
+    pickler = _ExportPickler(buffer)
+    pickler.dump(value)
+    return buffer.getvalue(), pickler.flats
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def create_segment(
+    flats: list[FlatCellDictionary],
+) -> tuple[ShmSegmentHandle, shared_memory.SharedMemory]:
+    """Pack the arrays of ``flats`` into one new shared-memory segment.
+
+    The caller (the engine driver) owns the returned segment and must
+    eventually :func:`destroy_segment` it; the handle is what gets
+    pickled to workers.
+    """
+    layouts = []
+    offset = 0
+    for flat in flats:
+        fields = []
+        for name in ARRAY_FIELDS:
+            array = getattr(flat, name)
+            offset = _aligned(offset)
+            fields.append((offset, array.dtype.str, array.shape))
+            offset += array.nbytes
+        layouts.append((flat.geometry, tuple(fields)))
+    name = f"{SHM_NAME_PREFIX}{os.getpid():x}_{secrets.token_hex(8)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(offset, 1))
+    for flat, (_, fields) in zip(flats, layouts, strict=True):
+        for field_name, (field_offset, dtype, shape) in zip(
+            ARRAY_FIELDS, fields, strict=True
+        ):
+            array = getattr(flat, field_name)
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=field_offset
+            )
+            view[...] = array
+    handle = ShmSegmentHandle(name=shm.name, size=shm.size, flats=tuple(layouts))
+    return handle, shm
+
+
+def attach_segment(handle: ShmSegmentHandle) -> shared_memory.SharedMemory:
+    """Worker-side attach; never unlinks, only maps.
+
+    Python 3.13 grew ``SharedMemory(track=False)`` for exactly this
+    attach-only case; on older interpreters the resource tracker would
+    otherwise adopt the segment and unlink it when the *worker* exits,
+    racing the driver and spamming leak warnings (bpo-39959) — so the
+    fallback manually unregisters the attachment.
+    """
+    try:
+        return shared_memory.SharedMemory(name=handle.name, track=False)
+    except TypeError:
+        pass
+    # Suppress (rather than undo) the tracker registration: with forked
+    # workers the tracker process is shared with the driver, and an
+    # unregister message from a worker would evict the *driver's* claim,
+    # making its later unlink-time unregister a tracker-side KeyError.
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=handle.name)
+    finally:
+        resource_tracker.register = original
+
+
+def import_broadcast(
+    blob: bytes, handle: ShmSegmentHandle, shm: shared_memory.SharedMemory
+) -> Any:
+    """Rebuild the broadcast value around zero-copy views of ``shm``.
+
+    The reconstructed flat dictionaries alias the segment's memory with
+    ``writeable=False`` views — the broadcast contract is read-only, and
+    a stray write would otherwise silently corrupt every sibling worker.
+    """
+    flats = []
+    for geometry, fields in handle.flats:
+        arrays = []
+        for offset, dtype, shape in fields:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+            view.flags.writeable = False
+            arrays.append(view)
+        flats.append(FlatCellDictionary(geometry, *arrays, validate=False))
+    return _ImportUnpickler(io.BytesIO(blob), flats).load()
+
+
+def destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Driver-side unmap + unlink; safe to call on a half-dead segment."""
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass

@@ -12,6 +12,9 @@ report the paper's efficiency analysis wants at a glance:
   time, i.e. how much of the gap is schedulable slack;
 * **straggler summary** — tasks ≥ 2× their phase median, the targets
   speculation would duplicate;
+* **broadcast ledger** — every broadcast fan-out with its channel
+  (``pickle`` vs zero-copy ``shm``), payload and segment bytes, and
+  ship time;
 * **fault ledger** — every retry/timeout/respawn/speculation event with
   its wall-clock timestamp.
 
@@ -32,7 +35,13 @@ from repro.bench.reporting import (
 )
 from repro.obs.spans import Span
 
-__all__ = ["render_run_report", "phase_task_durations", "worker_busy_seconds"]
+__all__ = [
+    "render_run_report",
+    "phase_task_durations",
+    "worker_busy_seconds",
+    "broadcast_ledger_rows",
+    "fault_ledger_rows",
+]
 
 #: An attempt at least this many times slower than its phase median is
 #: reported as a straggler (matches the default straggler factor region
@@ -154,6 +163,31 @@ def _straggler_rows(spans: list[Span]) -> list[list]:
     return rows
 
 
+def broadcast_ledger_rows(spans: list[Span]) -> list[list]:
+    """One row per broadcast fan-out: epoch, channel, and byte sizes.
+
+    Rendered from ``broadcast_ship`` setup spans; spans recorded before
+    the channel annotations existed (or by a foreign tracer) simply
+    contribute blank cells.
+    """
+    rows = []
+    for span in spans:
+        if span.kind != "setup" or span.name != "broadcast_ship":
+            continue
+        payload = span.annotations.get("payload_bytes")
+        segment = span.annotations.get("segment_bytes")
+        rows.append(
+            [
+                span.epoch,
+                span.annotations.get("channel"),
+                f"{payload} B" if payload is not None else None,
+                f"{segment} B" if segment else None,
+                format_duration(span.duration_s),
+            ]
+        )
+    return rows
+
+
 def fault_ledger_rows(spans: list[Span]) -> list[list]:
     """Fault events with wall-clock timestamps, in event order."""
     rows = []
@@ -194,6 +228,16 @@ def render_run_report(spans: list[Span], *, title: str = "run report") -> str:
             f"engine setup: {format_duration(total_setup)} across "
             f"{len(setup)} step(s) "
             f"({', '.join(sorted({s.name for s in setup}))})"
+        )
+
+    rows = broadcast_ledger_rows(spans)
+    if rows:
+        sections.append(
+            format_table(
+                ["epoch", "channel", "payload", "segment", "ship time"],
+                rows,
+                title="broadcast ledger (one row per fan-out)",
+            )
         )
 
     busy = worker_busy_seconds(spans)

@@ -1,14 +1,21 @@
 """Candidate-cell search shared by all cell-based algorithms.
 
-Given the set of non-empty cells of a grid, a
-:class:`NeighborCellFinder` answers: *which non-empty cells can contain
-a point within ``eps`` of some point of cell C?*  Those are exactly the
-cells whose box lies within ``eps`` of C's box.
+Given the non-empty cells of a grid, a :class:`NeighborCellFinder`
+answers: *which non-empty cells can contain a point within ``eps`` of
+some point of cell C?*  Those are exactly the cells whose box lies
+within ``eps`` of C's box.
 
-Two strategies (Lemma 5.6's "R*-tree or kd-tree" vs. direct hashing):
+The finder consumes the cells as a lexicographically sorted ``(C, d)``
+int64 array — the same dense row order the flat cell dictionary and the
+cell graph use — so every answer is deterministic and can be returned
+either as cell-id tuples (:meth:`candidates`) or directly as dense row
+indices (:meth:`candidate_rows`), no hashing involved.
+
+Two strategies (Lemma 5.6's "R*-tree or kd-tree" vs. direct probing):
 
 * ``"enumerate"`` — precompute the integer offsets that satisfy the box
-  condition and probe the hash map; ideal in low dimensions.
+  condition and binary-search the sorted id array; ideal in low
+  dimensions.
 * ``"kdtree"`` — query a kd-tree over non-empty cell centers, then
   filter by the exact box-to-box distance; required when the offset
   table would be exponential in ``d``.
@@ -28,13 +35,55 @@ __all__ = ["NeighborCellFinder"]
 CellId = tuple[int, ...]
 
 
+def _normalize_ids(
+    cell_ids: np.ndarray | list[CellId] | set[CellId],
+) -> np.ndarray:
+    """Coerce any accepted cell collection to a sorted ``(C, d)`` array.
+
+    Arrays already in lexicographic order pass through without a copy;
+    legacy list/set inputs are sorted (and deduplicated) on the way in.
+    """
+    if isinstance(cell_ids, np.ndarray):
+        ids = np.ascontiguousarray(cell_ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError("cell_ids array must be (C, d)")
+        if not _rows_strictly_sorted(ids):
+            ids = np.unique(ids, axis=0)
+        return ids
+    rows = sorted(set(map(tuple, cell_ids)))
+    if not rows:
+        return np.empty((0, 1), dtype=np.int64)
+    return np.array(rows, dtype=np.int64)
+
+
+def _lex_keys(ids: np.ndarray) -> np.ndarray:
+    """View ``(m, d)`` int64 rows as a (m,) structured array whose
+    comparison order is lexicographic — the key for ``searchsorted``."""
+    return ids.view([("", ids.dtype)] * ids.shape[1]).reshape(ids.shape[0])
+
+
+def _rows_strictly_sorted(ids: np.ndarray) -> bool:
+    """``True`` when the rows of ``ids`` are strictly increasing in
+    lexicographic order (sorted, no duplicates)."""
+    if ids.shape[0] <= 1:
+        return True
+    a, b = ids[:-1], ids[1:]
+    neq = a != b
+    if not neq.any(axis=1).all():
+        return False  # adjacent duplicate rows
+    first = neq.argmax(axis=1)
+    rows = np.arange(a.shape[0])
+    return bool(np.all(a[rows, first] < b[rows, first]))
+
+
 class NeighborCellFinder:
     """Finds non-empty cells within ``eps`` (box distance) of a query cell.
 
     Parameters
     ----------
     cell_ids:
-        The non-empty cells, as tuples of ints.
+        The non-empty cells: a lexicographically sorted ``(C, d)`` int64
+        array (preferred — zero copy), or a list/set of int tuples.
     side:
         Cell side length.
     eps:
@@ -46,7 +95,7 @@ class NeighborCellFinder:
 
     def __init__(
         self,
-        cell_ids: list[CellId] | set[CellId],
+        cell_ids: np.ndarray | list[CellId] | set[CellId],
         side: float,
         eps: float,
         *,
@@ -54,11 +103,11 @@ class NeighborCellFinder:
     ) -> None:
         if side <= 0 or eps <= 0:
             raise ValueError("side and eps must be positive")
-        self._cells = set(cell_ids)
+        self._ids = _normalize_ids(cell_ids)
+        self._keys = _lex_keys(self._ids)
         self.side = float(side)
         self.eps = float(eps)
-        sample = next(iter(self._cells), None)
-        self.dim = len(sample) if sample is not None else 1
+        self.dim = self._ids.shape[1]
         if strategy == "auto":
             reach = 1 + int(np.ceil(self.eps / self.side))
             strategy = (
@@ -71,11 +120,15 @@ class NeighborCellFinder:
         self.strategy = strategy
         self._offsets: np.ndarray | None = None
         self._tree: KDTree | None = None
-        self._tree_ids: np.ndarray | None = None
         if strategy == "enumerate":
             self._offsets = self._build_offsets()
         else:
             self._build_tree()
+
+    @property
+    def cell_ids(self) -> np.ndarray:
+        """The sorted ``(C, d)`` id array rows index into."""
+        return self._ids
 
     def _build_offsets(self) -> np.ndarray:
         reach = int(np.ceil(self.eps / self.side))
@@ -85,35 +138,47 @@ class NeighborCellFinder:
         return offsets[keep]
 
     def _build_tree(self) -> None:
-        ids = np.array(sorted(self._cells), dtype=np.int64)
-        if ids.size == 0:
-            ids = ids.reshape(0, self.dim)
-        centers = (ids.astype(np.float64) + 0.5) * self.side
+        centers = (self._ids.astype(np.float64) + 0.5) * self.side
         self._tree = KDTree(centers)
-        self._tree_ids = ids
 
-    def candidates(self, cell_id: CellId) -> list[CellId]:
-        """Sorted non-empty cells whose box is within ``eps`` of
-        ``cell_id``'s box (including ``cell_id`` itself if non-empty).
+    def candidate_rows(self, cell_id: CellId) -> np.ndarray:
+        """Ascending dense rows (into :attr:`cell_ids`) of the non-empty
+        cells whose box is within ``eps`` of ``cell_id``'s box, including
+        ``cell_id`` itself if non-empty.
 
-        ``cell_id`` need not be non-empty; queries from arbitrary cells
-        are supported.
+        Because the backing ids are lexicographically sorted, ascending
+        row order *is* lexicographic cell-id order — the deterministic
+        candidate ordering every consumer relies on.
         """
+        base = np.asarray(cell_id, dtype=np.int64)
+        if self._ids.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
         if self.strategy == "enumerate":
             assert self._offsets is not None
-            base = np.asarray(cell_id, dtype=np.int64)
-            raw = (base + self._offsets).tolist()  # python ints, cheap to hash
-            cells = self._cells
-            return sorted(t for row in raw if (t := tuple(row)) in cells)
+            probes = base + self._offsets
+            pos = np.searchsorted(self._keys, _lex_keys(probes))
+            clipped = np.minimum(pos, self._ids.shape[0] - 1)
+            hit = np.all(self._ids[clipped] == probes, axis=1) & (
+                pos < self._ids.shape[0]
+            )
+            return np.sort(clipped[hit])
         assert self._tree is not None
-        center = (np.asarray(cell_id, dtype=np.float64) + 0.5) * self.side
+        center = (base.astype(np.float64) + 0.5) * self.side
         # Box-box distance <= eps implies center distance <= eps + diagonal.
         diagonal = self.side * float(np.sqrt(self.dim))
         hits = self._tree.query_ball(center, self.eps + diagonal * (1 + 1e-12))
         if hits.size == 0:
-            return []
-        others = self._tree_ids[hits]  # (m, d) int64
-        delta = np.abs(others - np.asarray(cell_id, dtype=np.int64))
+            return np.empty(0, dtype=np.int64)
+        delta = np.abs(self._ids[hits] - base)
         gap = np.maximum(delta - 1, 0).astype(np.float64) * self.side
         keep = np.einsum("ij,ij->i", gap, gap) <= (self.eps * (1 + 1e-12)) ** 2
-        return sorted(map(tuple, others[keep].tolist()))
+        return np.sort(hits[keep])
+
+    def candidates(self, cell_id: CellId) -> list[CellId]:
+        """Lexicographically sorted candidate cells as tuples.
+
+        ``cell_id`` need not be non-empty; queries from arbitrary cells
+        are supported.
+        """
+        rows = self.candidate_rows(cell_id)
+        return [tuple(row) for row in self._ids[rows].tolist()]

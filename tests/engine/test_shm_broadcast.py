@@ -1,0 +1,232 @@
+"""The shared-memory broadcast channel, end to end.
+
+Covers the three layers of the ``shm`` channel:
+
+* :mod:`repro.engine.shm` in isolation — export/import round trips,
+  persistent-id hoisting through nested containers, zero-copy read-only
+  views, segment naming;
+* the engine integration — channel selection (``auto``/``pickle``/
+  ``shm``), byte accounting per channel, cross-channel label identity,
+  and segment lifecycle (unlinked on close, on re-ship, and on pool
+  re-spawn after a chaos-injected worker crash);
+* leak hygiene — after every scenario, no ``rpdbscan_*`` segment
+  remains in ``/dev/shm``.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.cells import CellGeometry
+from repro.core.dictionary import FlatCellDictionary
+from repro.core.rp_dbscan import RPDBSCAN
+from repro.engine import Engine, FaultPolicy
+from repro.engine.faults import FAULT_RESPAWNS
+from repro.engine.shm import (
+    SHM_NAME_PREFIX,
+    attach_segment,
+    create_segment,
+    destroy_segment,
+    export_broadcast,
+    import_broadcast,
+)
+
+from .test_faults import _crash_once_injector
+
+
+def live_segments() -> list[str]:
+    """Names of this machine's live RP-DBSCAN shared-memory segments."""
+    return sorted(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test in this module must clean up its segments."""
+    assert live_segments() == []
+    yield
+    assert live_segments() == []
+
+
+@pytest.fixture(scope="module")
+def flat():
+    rng = np.random.default_rng(3)
+    points = rng.uniform(0, 4, (2000, 2))
+    return FlatCellDictionary.from_points(
+        points, CellGeometry(eps=0.5, dim=2, rho=0.05)
+    )
+
+
+def lookup_cell(row, flat):
+    """Worker body: exercise the attached dictionary's query surface."""
+    cell_id = flat.cell_at(row)
+    return (
+        cell_id,
+        int(flat.cell_counts[row]),
+        float(flat.sub_cell_centers(cell_id).sum()),
+    )
+
+
+def lookup_nested(row, broadcast):
+    flat = broadcast["context"][1]
+    return lookup_cell(row, flat)
+
+
+def add_broadcast(x, b):
+    return x + b
+
+
+class TestExportImport:
+    def test_plain_value_exports_to_ordinary_pickle(self):
+        import pickle
+
+        blob, flats = export_broadcast({"a": [1, 2, 3]})
+        assert flats == []
+        assert pickle.loads(blob) == {"a": [1, 2, 3]}
+
+    def test_flat_is_hoisted_and_deduplicated(self, flat):
+        value = {"context": ("tag", flat), "again": flat}
+        blob, flats = export_broadcast(value)
+        assert flats == [flat]
+        assert len(blob) < 1000  # the arrays stayed out of the stream
+
+    def test_round_trip_through_segment(self, flat):
+        value = {"context": ("tag", flat)}
+        blob, flats = export_broadcast(value)
+        handle, segment = create_segment(flats)
+        try:
+            worker_side = attach_segment(handle)
+            try:
+                rebuilt = import_broadcast(blob, handle, worker_side)
+                out = rebuilt["context"][1]
+                assert out is not flat
+                assert np.array_equal(out.cell_ids, flat.cell_ids)
+                assert np.array_equal(out.sub_centers, flat.sub_centers)
+                assert np.array_equal(out.sub_coords, flat.sub_coords)
+                # Zero-copy: the rebuilt arrays alias the segment buffer.
+                assert not out.cell_ids.flags.owndata
+                with pytest.raises(ValueError):
+                    out.cell_ids[0, 0] = 99
+                # The rebuilt dictionary answers queries identically.
+                some = flat.cell_at(0)
+                assert out.row_of(some) == 0
+                assert np.array_equal(out.densities(some), flat.densities(some))
+            finally:
+                worker_side.close()
+        finally:
+            destroy_segment(segment)
+
+    def test_segment_names_carry_prefix(self, flat):
+        _, flats = export_broadcast(flat)
+        handle, segment = create_segment(flats)
+        try:
+            assert handle.name.startswith(SHM_NAME_PREFIX)
+            assert live_segments() == [f"/dev/shm/{handle.name}"]
+        finally:
+            destroy_segment(segment)
+
+
+class TestEngineChannels:
+    def test_channel_validation(self):
+        with pytest.raises(ValueError, match="broadcast channel"):
+            Engine("process", broadcast_channel="carrier-pigeon")
+
+    def test_shm_ships_descriptor_not_arrays(self, flat):
+        with Engine("process", num_workers=2, broadcast_channel="shm") as engine:
+            out = engine.map_tasks(
+                lookup_cell, list(range(4)), broadcast=flat, phase="q"
+            )
+            assert [row[0] for row in out] == [flat.cell_at(r) for r in range(4)]
+            shipped = engine.counters.broadcast_bytes
+            assert shipped["shm"] < 2000
+            assert shipped["shm_segment"] >= flat.cell_ids.nbytes
+            assert "pickle" not in shipped
+            # The segment is live while the pool can still map tasks...
+            assert len(live_segments()) == 1
+        # ...and unlinked by close().
+        assert live_segments() == []
+
+    def test_pickle_channel_counts_full_payload(self, flat):
+        with Engine("process", num_workers=2, broadcast_channel="pickle") as engine:
+            engine.map_tasks(lookup_cell, list(range(4)), broadcast=flat, phase="q")
+            shipped = engine.counters.broadcast_bytes
+            assert "shm" not in shipped
+            # The whole columnar payload went down the pipe as pickle.
+            assert shipped["pickle"] >= flat.sub_centers.nbytes
+
+    def test_auto_picks_shm_for_flat_payloads(self, flat):
+        with Engine("process", num_workers=2) as engine:
+            engine.map_tasks(
+                lookup_nested,
+                list(range(4)),
+                broadcast={"context": ("tag", flat)},
+                phase="q",
+            )
+            assert "shm" in engine.counters.broadcast_bytes
+
+    def test_auto_degrades_to_pickle_without_flats(self):
+        with Engine("process", num_workers=2) as engine:
+            out = engine.map_tasks(add_broadcast, [1, 2], broadcast=10, phase="q")
+            assert out == [11, 12]
+            assert list(engine.counters.broadcast_bytes) == ["pickle"]
+
+    def test_forced_shm_degrades_to_pickle_without_flats(self):
+        with Engine("process", num_workers=2, broadcast_channel="shm") as engine:
+            out = engine.map_tasks(add_broadcast, [1, 2], broadcast=10, phase="q")
+            assert out == [11, 12]
+            assert list(engine.counters.broadcast_bytes) == ["pickle"]
+
+    def test_reship_replaces_segment(self, flat):
+        other = FlatCellDictionary.from_points(
+            np.random.default_rng(9).uniform(0, 2, (500, 2)), flat.geometry
+        )
+        with Engine("process", num_workers=2, broadcast_channel="shm") as engine:
+            engine.map_tasks(lookup_cell, list(range(4)), broadcast=flat, phase="q")
+            first = live_segments()
+            engine.map_tasks(lookup_cell, list(range(4)), broadcast=other, phase="q")
+            second = live_segments()
+            # One live segment at a time: the re-ship unlinked epoch 1.
+            assert len(first) == 1 and len(second) == 1
+            assert first != second
+            assert engine.broadcast_ships == 2
+
+
+class TestLabelIdentityAcrossChannels:
+    def test_labels_bit_identical(self, blobs_with_noise):
+        def run(mode, channel):
+            with Engine(mode, num_workers=2, broadcast_channel=channel) as engine:
+                model = RPDBSCAN(
+                    eps=0.3, min_pts=10, num_partitions=6, seed=0, engine=engine
+                )
+                return model.fit(blobs_with_noise)
+
+        serial = run("serial", "auto")
+        for channel in ("pickle", "shm", "auto"):
+            result = run("process", channel)
+            np.testing.assert_array_equal(result.labels, serial.labels)
+            np.testing.assert_array_equal(result.core_mask, serial.core_mask)
+        assert live_segments() == []
+
+
+class TestChaosSegmentHygiene:
+    def test_crash_respawn_reships_fresh_segment(self, flat):
+        inj = _crash_once_injector("q", 6)
+        policy = FaultPolicy(
+            max_retries=2, backoff_base_s=0.001, speculative=False, injector=inj
+        )
+        with Engine(
+            "process", num_workers=2, fault_policy=policy, broadcast_channel="shm"
+        ) as engine:
+            out = engine.map_tasks(
+                lookup_cell, list(range(6)), broadcast=flat, phase="q"
+            )
+            assert [row[0] for row in out] == [flat.cell_at(r) for r in range(6)]
+            assert engine.counters.fault_event_count(FAULT_RESPAWNS) == 1
+            assert engine.pools_created == 2
+            # The respawned pool re-shipped under a fresh epoch, through
+            # a fresh segment; the dead pool's segment was unlinked.
+            assert engine.broadcast_ships == 2
+            assert engine.broadcast_epoch == 2
+            assert engine.counters.broadcast_bytes["shm"] > 0
+            assert len(live_segments()) == 1
+        assert live_segments() == []

@@ -96,3 +96,51 @@ class TestEdgeCases:
     def test_rejects_nonpositive_side(self):
         with pytest.raises(ValueError):
             NeighborCellFinder({(0,)}, 0.0, 1.0)
+
+
+class TestDeterministicOrdering:
+    """Regression: candidates must come back in lexicographic order.
+
+    The finder used to be built from ``set(...)`` cell ids, which made
+    candidate order depend on hash iteration — harmless for correctness
+    but fatal for bit-identical results across runs and engines.  The
+    sorted-array finder pins both the row indices (ascending) and the
+    tuple candidates (lexicographic).
+    """
+
+    @pytest.mark.parametrize("strategy", ["enumerate", "kdtree"])
+    def test_candidate_rows_ascending(self, random_cells_2d, strategy):
+        side = 0.5
+        eps = side * math.sqrt(2)
+        finder = NeighborCellFinder(random_cells_2d, side, eps, strategy=strategy)
+        for query in sorted(random_cells_2d)[:25]:
+            rows = finder.candidate_rows(query)
+            assert rows.dtype == np.int64
+            assert np.all(np.diff(rows) > 0)  # strictly ascending
+            cells = [tuple(r) for r in finder.cell_ids[rows].tolist()]
+            assert cells == sorted(cells)
+            assert cells == finder.candidates(query)
+
+    def test_rows_index_the_sorted_id_array(self, random_cells_2d):
+        side = 0.5
+        eps = side * math.sqrt(2)
+        finder = NeighborCellFinder(random_cells_2d, side, eps)
+        as_tuples = [tuple(r) for r in finder.cell_ids.tolist()]
+        # The finder's id array is the canonical lexicographic order —
+        # rows double as dense dictionary indices.
+        assert as_tuples == sorted(set(as_tuples))
+        for query in sorted(random_cells_2d)[:10]:
+            expected = brute_candidates(random_cells_2d, query, side, eps)
+            assert finder.candidates(query) == expected
+
+    def test_set_and_array_inputs_agree(self, random_cells_2d):
+        side = 0.5
+        eps = side * math.sqrt(2)
+        from_set = NeighborCellFinder(random_cells_2d, side, eps)
+        ids = np.array(sorted(random_cells_2d), dtype=np.int64)
+        from_array = NeighborCellFinder(ids, side, eps)
+        assert np.array_equal(from_set.cell_ids, from_array.cell_ids)
+        some = sorted(random_cells_2d)[0]
+        assert np.array_equal(
+            from_set.candidate_rows(some), from_array.candidate_rows(some)
+        )
