@@ -110,6 +110,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             rho=args.rho,
             seed=args.seed,
             engine=engine,
+            merge_mode=args.merge,
+            graph_layout=args.graph_layout,
         )
         result = model.fit(points)
     finally:
@@ -120,6 +122,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
     for phase, fraction in result.phase_breakdown().items():
         print(f"  {phase}: {fraction:.1%}")
+    stats = result.merge_stats
+    if stats.num_rounds:
+        span_kind = "measured" if stats.span_is_measured else "modeled"
+        merge_line = (
+            f"  merge: mode={stats.mode} rounds={stats.num_rounds} "
+            f"span={stats.span_seconds() * 1000:.1f}ms ({span_kind}) "
+            f"edges {stats.edges_per_round[0]}->{stats.edges_per_round[-1]}"
+        )
+        shipped_total = sum(stats.bytes_shipped_per_round)
+        if shipped_total:
+            merge_line += f" shipped={shipped_total}B"
+        print(merge_line)
     if result.broadcast_bytes:
         shipped = " ".join(
             f"{channel}={nbytes}B"
@@ -246,6 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="broadcast channel: pickle blobs per worker, one zero-copy "
         "shared-memory segment, or auto (shm whenever the value carries a "
         "columnar dictionary; default)",
+    )
+    engine_group.add_argument(
+        "--merge",
+        choices=("driver", "engine", "auto"),
+        default="auto",
+        help="Phase III-1 tournament scheduling: every match on the driver, "
+        "rounds dispatched through the engine, or a cost model picking per "
+        "run (default; labels are bit-identical either way)",
+    )
+    engine_group.add_argument(
+        "--graph-layout",
+        choices=("flat", "dict"),
+        default="flat",
+        help="cell-graph layout: columnar flat arrays (default) or the "
+        "dict-of-tuples reference implementation",
     )
     engine_group.add_argument(
         "--max-retries",

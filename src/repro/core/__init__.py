@@ -16,7 +16,7 @@ thin composition of them, so each phase can be driven and tested on its
 own.
 """
 
-from repro.core.cell_graph import CellGraph, EdgeType
+from repro.core.cell_graph import CellGraph, EdgeType, FlatCellGraph
 from repro.core.cells import CellGeometry, h_for_rho
 from repro.core.construction import QueryContext, SubgraphResult, build_cell_subgraph
 from repro.core.defragmentation import (
@@ -39,7 +39,14 @@ from repro.core.labeling import (
     build_labeling_context,
     label_partition,
 )
-from repro.core.merging import MergeStats, merge_pair, progressive_merge
+from repro.core.merging import (
+    MERGE_MODES,
+    MergeStats,
+    merge_match,
+    merge_pair,
+    progressive_merge,
+    resolve_merge_mode,
+)
 from repro.core.partitioning import (
     Partition,
     pseudo_random_partition,
@@ -48,8 +55,10 @@ from repro.core.partitioning import (
 from repro.core.prediction import ClusterModel
 from repro.core.region_query import CellBatchQueryResult, RegionQueryEngine
 from repro.core.serialization import (
+    deserialize_cell_graph,
     deserialize_dictionary,
     deserialize_flat_dictionary,
+    serialize_cell_graph,
     serialize_dictionary,
 )
 from repro.core.rp_dbscan import (
@@ -77,6 +86,7 @@ __all__ = [
     "summarize_cell",
     "CellGraph",
     "EdgeType",
+    "FlatCellGraph",
     "QueryContext",
     "SubgraphResult",
     "build_cell_subgraph",
@@ -90,8 +100,11 @@ __all__ = [
     "label_partition",
     "NOISE",
     "MergeStats",
+    "MERGE_MODES",
+    "merge_match",
     "merge_pair",
     "progressive_merge",
+    "resolve_merge_mode",
     "Partition",
     "pseudo_random_partition",
     "true_random_partition",
@@ -101,6 +114,8 @@ __all__ = [
     "serialize_dictionary",
     "deserialize_dictionary",
     "deserialize_flat_dictionary",
+    "serialize_cell_graph",
+    "deserialize_cell_graph",
     "PHASES",
     "PHASE_PARTITION",
     "PHASE_DICTIONARY",

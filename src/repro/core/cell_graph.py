@@ -20,10 +20,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import IntEnum
 
-from repro.core.cells import CellId
-from repro.graph.union_find import UnionFind
+import numpy as np
 
-__all__ = ["EdgeType", "CellGraph"]
+from repro.core.cells import CellId
+from repro.graph.union_find import ArrayUnionFind, UnionFind
+
+__all__ = [
+    "EdgeType",
+    "CellGraph",
+    "FlatCellGraph",
+    "V_ABSENT",
+    "V_UNDETERMINED",
+    "V_NONCORE",
+    "V_CORE",
+]
+
+#: Vertex-status codes of :class:`FlatCellGraph`, ordered by knowledge
+#: priority: merging two graphs' views of a vertex is an elementwise
+#: maximum (a determined class always beats undetermined, core beats
+#: non-core — the same promotion rules as :meth:`CellGraph.absorb`).
+V_ABSENT = 0
+V_UNDETERMINED = 1
+V_NONCORE = 2
+V_CORE = 3
+
+_STATUS_NAMES = ("absent", "undetermined", "noncore", "core")
 
 
 class EdgeType(IntEnum):
@@ -357,3 +378,401 @@ class CellGraph:
                 raise ValueError(f"full edge ({src}, {dst}) endpoint not core")
             if edge_type is EdgeType.PARTIAL and dst not in self.noncore:
                 raise ValueError(f"partial edge ({src}, {dst}) target not non-core")
+
+
+class FlatCellGraph:
+    """Columnar cell graph over the dense flat-row vertex universe.
+
+    The struct-of-arrays counterpart of :class:`CellGraph` for the merge
+    plane: vertices are the dense cell indices of a
+    ``FlatCellDictionary`` (flat row == dense dict index, the PR 4
+    invariant), vertex classes live in one ``int8`` status array keyed by
+    those indices, and edges are a parallel ``(src:int32, dst:int32,
+    type:int8)`` edge list.  Merging is an elementwise status maximum
+    plus an array concatenation; edge-type detection is a vectorized
+    gather of destination statuses; the Sec 6.1.4 spanning-forest
+    reduction runs over an :class:`~repro.graph.union_find.ArrayUnionFind`.
+
+    ``CellGraph`` remains the reference implementation: for equal inputs
+    both layouts produce identical vertex classes, edge multisets,
+    resolved/removed counts, and (via canonical component numbering)
+    identical final labels.  The one intentional difference: flat
+    ``absorb_resolving`` always equals ``absorb`` + ``detect_edge_types``
+    (it re-resolves *all* undetermined edges against the merged
+    statuses), which coincides with the dict behaviour on pipeline
+    subgraphs where a match can never leave a stale resolvable edge.
+    """
+
+    __slots__ = ("status", "src", "dst", "etype", "_pending", "_forest")
+
+    def __init__(self, n_slots: int = 0) -> None:
+        self.status = np.zeros(int(n_slots), dtype=np.int8)
+        self.src = np.empty(0, dtype=np.int32)
+        self.dst = np.empty(0, dtype=np.int32)
+        self.etype = np.empty(0, dtype=np.int8)
+        # Indices (into src/dst/etype) of FULL edges not yet tested
+        # against the spanning forest.
+        self._pending: list[int] = []
+        self._forest = ArrayUnionFind(int(n_slots))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        """Size of the vertex universe (dictionary cell count)."""
+        return int(self.status.size)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges of all types."""
+        return int(self.src.size)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of present (non-absent) vertices."""
+        return int(np.count_nonzero(self.status))
+
+    @property
+    def core(self) -> set[int]:
+        """Core vertex indices (materialized as a set for duck parity)."""
+        return set(np.nonzero(self.status == V_CORE)[0].tolist())
+
+    @property
+    def noncore(self) -> set[int]:
+        """Determined non-core vertex indices."""
+        return set(np.nonzero(self.status == V_NONCORE)[0].tolist())
+
+    @property
+    def undetermined(self) -> set[int]:
+        """Undetermined vertex indices."""
+        return set(np.nonzero(self.status == V_UNDETERMINED)[0].tolist())
+
+    def is_global(self) -> bool:
+        """Definition 6.1: no undetermined vertices or edges remain."""
+        if (self.status == V_UNDETERMINED).any():
+            return False
+        return not (self.etype == int(EdgeType.UNDETERMINED)).any()
+
+    def edges_of_type(self, edge_type: EdgeType) -> list[tuple[int, int]]:
+        """All edges of one type, sorted for determinism."""
+        idx = np.nonzero(self.etype == int(edge_type))[0]
+        if idx.size == 0:
+            return []
+        src = self.src[idx]
+        dst = self.dst[idx]
+        order = np.lexsort((dst, src))
+        return list(zip(src[order].tolist(), dst[order].tolist()))
+
+    def vertex_status(self, cell: int) -> str:
+        """``"core"``, ``"noncore"``, ``"undetermined"``, or ``"absent"``."""
+        return _STATUS_NAMES[int(self.status[cell])]
+
+    def _edge_keys(self) -> np.ndarray:
+        """Edges as scalar int64 keys ``src * n_slots + dst``."""
+        n = max(self.n_slots, 1)
+        return self.src.astype(np.int64) * n + self.dst.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_core_cell(self, cell: int) -> None:
+        """Register ``cell`` as core (promoting from any other class)."""
+        self.status[cell] = V_CORE
+
+    def add_noncore_cell(self, cell: int) -> None:
+        """Register ``cell`` as determined non-core."""
+        if self.status[cell] == V_CORE:
+            raise ValueError(f"cell {cell} is already core")
+        self.status[cell] = V_NONCORE
+
+    def add_undetermined_cell(self, cell: int) -> None:
+        """Register ``cell`` as undetermined unless already determined."""
+        if self.status[cell] == V_ABSENT:
+            self.status[cell] = V_UNDETERMINED
+
+    def add_edge(self, src: int, dst: int, edge_type: EdgeType) -> None:
+        """Add (or upgrade) a directed edge ``src -> dst``.
+
+        Same contract as :meth:`CellGraph.add_edge`.  O(E) per call —
+        meant for tests and small graphs; the pipeline builds edge
+        arrays in bulk (:meth:`from_arrays`).
+        """
+        hit = np.nonzero((self.src == src) & (self.dst == dst))[0]
+        if hit.size:
+            pos = int(hit[0])
+            if self.etype[pos] == int(EdgeType.UNDETERMINED):
+                self.etype[pos] = int(edge_type)
+                if edge_type is EdgeType.FULL:
+                    self._pending.append(pos)
+            return
+        self.src = np.append(self.src, np.int32(src))
+        self.dst = np.append(self.dst, np.int32(dst))
+        self.etype = np.append(self.etype, np.int8(int(edge_type)))
+        if edge_type is EdgeType.FULL:
+            self._pending.append(self.src.size - 1)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        status: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        etype: np.ndarray,
+        *,
+        pending: "list[int] | None" = None,
+        forest: "ArrayUnionFind | None" = None,
+    ) -> "FlatCellGraph":
+        """Bulk constructor from prebuilt columns (arrays are adopted).
+
+        ``pending`` defaults to every FULL edge (nothing forest-tested
+        yet); ``forest`` defaults to a fresh one over the universe.
+        """
+        graph = cls.__new__(cls)
+        graph.status = np.ascontiguousarray(status, dtype=np.int8)
+        graph.src = np.ascontiguousarray(src, dtype=np.int32)
+        graph.dst = np.ascontiguousarray(dst, dtype=np.int32)
+        graph.etype = np.ascontiguousarray(etype, dtype=np.int8)
+        if pending is None:
+            pending = np.nonzero(graph.etype == int(EdgeType.FULL))[0].tolist()
+        graph._pending = list(pending)
+        graph._forest = (
+            forest if forest is not None else ArrayUnionFind(graph.status.size)
+        )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Merging machinery (Sections 6.1.2 - 6.1.4)
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "FlatCellGraph":
+        """Independent copy (arrays duplicated)."""
+        clone = FlatCellGraph.__new__(FlatCellGraph)
+        clone.status = self.status.copy()
+        clone.src = self.src.copy()
+        clone.dst = self.dst.copy()
+        clone.etype = self.etype.copy()
+        clone._pending = list(self._pending)
+        clone._forest = self._forest.copy()
+        return clone
+
+    def _load_from(self, other: "FlatCellGraph") -> None:
+        self.status = other.status
+        self.src = other.src
+        self.dst = other.dst
+        self.etype = other.etype
+        self._pending = other._pending
+        self._forest = other._forest
+
+    def _concatenate(self, other: "FlatCellGraph") -> None:
+        """Vectorized union assuming disjoint edge keys (the pipeline
+        case: each edge's source cell is owned by one partition)."""
+        np.maximum(self.status, other.status, out=self.status)
+        base = self.src.size
+        self.src = np.concatenate([self.src, other.src])
+        self.dst = np.concatenate([self.dst, other.dst])
+        self.etype = np.concatenate([self.etype, other.etype])
+        self._pending.extend(p + base for p in other._pending)
+        self._forest.merge_from(other._forest)
+
+    def _has_overlap(self, other: "FlatCellGraph") -> bool:
+        if not (self.src.size and other.src.size):
+            return False
+        return bool(
+            np.intersect1d(self._edge_keys(), other._edge_keys()).size
+        )
+
+    def absorb(self, other: "FlatCellGraph") -> "FlatCellGraph":
+        """In-place merger ``self |= other`` (Definition 6.2)."""
+        if other.n_slots != self.n_slots:
+            raise ValueError(
+                f"universe mismatch: {self.n_slots} vs {other.n_slots}"
+            )
+        if self._has_overlap(other):
+            # Rare path (hand-built graphs only): duplicate edge keys
+            # would destabilize pending indices under dedup, so route
+            # through the dict reference for its exact determined-wins
+            # semantics.  Pipeline subgraphs have disjoint edge keys.
+            ref = self.to_cell_graph()
+            ref.absorb(other.to_cell_graph())
+            self._load_from(FlatCellGraph.from_cell_graph(ref, self.n_slots))
+            return self
+        self._concatenate(other)
+        return self
+
+    def absorb_resolving(self, other: "FlatCellGraph") -> int:
+        """Fused merger + edge-type detection (Secs 6.1.2-6.1.3).
+
+        Exactly ``self.absorb(other)`` followed by
+        :meth:`detect_edge_types`; returns the number of edges resolved.
+        """
+        self.absorb(other)
+        return self.detect_edge_types()
+
+    @classmethod
+    def merge(
+        cls, a: "FlatCellGraph", b: "FlatCellGraph"
+    ) -> "FlatCellGraph":
+        """Single merger ``a | b`` (Definition 6.2)."""
+        return a.copy().absorb(b)
+
+    def detect_edge_types(self) -> int:
+        """Resolve undetermined edges against the current vertex classes
+        (Section 6.1.3).  Returns the number of edges resolved.
+
+        One vectorized gather of destination statuses over the
+        undetermined-typed edges — newly FULL edges join the pending
+        list for the next forest test.
+        """
+        idx = np.nonzero(self.etype == int(EdgeType.UNDETERMINED))[0]
+        if idx.size == 0:
+            return 0
+        dst_status = self.status[self.dst[idx]]
+        to_full = idx[dst_status == V_CORE]
+        to_partial = idx[dst_status == V_NONCORE]
+        self.etype[to_full] = int(EdgeType.FULL)
+        self.etype[to_partial] = int(EdgeType.PARTIAL)
+        self._pending.extend(to_full.tolist())
+        return int(to_full.size + to_partial.size)
+
+    def reduce_full_edges(self) -> int:
+        """Drop redundant full edges via the spanning forest (Sec 6.1.4).
+
+        Returns the number removed; connectivity is unchanged.
+        """
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        full = int(EdgeType.FULL)
+        types = self.etype[pending].tolist()
+        srcs = self.src[pending].tolist()
+        dsts = self.dst[pending].tolist()
+        union = self._forest.union
+        drop: list[int] = []
+        for j, edge_index in enumerate(pending):
+            if types[j] != full:
+                continue  # stale pending entry
+            if not union(srcs[j], dsts[j]):
+                drop.append(edge_index)
+        if drop:
+            keep = np.ones(self.src.size, dtype=bool)
+            keep[drop] = False
+            self.src = self.src[keep]
+            self.dst = self.dst[keep]
+            self.etype = self.etype[keep]
+        return len(drop)
+
+    def reduce_all_full_edges(self) -> int:
+        """Full-scan edge reduction (see
+        :meth:`CellGraph.reduce_all_full_edges`)."""
+        self._forest = ArrayUnionFind(self.n_slots)
+        self._pending = np.nonzero(self.etype == int(EdgeType.FULL))[0].tolist()
+        return self.reduce_full_edges()
+
+    # ------------------------------------------------------------------
+    # Layout conversion
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_cell_graph(
+        cls, graph: CellGraph, n_slots: int
+    ) -> "FlatCellGraph":
+        """Convert a dict :class:`CellGraph` whose cell ids are dense
+        integer indices into ``0 .. n_slots - 1``."""
+        flat = cls(n_slots)
+        status = flat.status
+        for cell in graph.undetermined:
+            status[cell] = V_UNDETERMINED
+        for cell in graph.noncore:
+            status[cell] = V_NONCORE
+        for cell in graph.core:
+            status[cell] = V_CORE
+        if graph.edges:
+            keys = list(graph.edges)
+            count = len(keys)
+            flat.src = np.fromiter(
+                (k[0] for k in keys), dtype=np.int32, count=count
+            )
+            flat.dst = np.fromiter(
+                (k[1] for k in keys), dtype=np.int32, count=count
+            )
+            flat.etype = np.fromiter(
+                (int(t) for t in graph.edges.values()),
+                dtype=np.int8,
+                count=count,
+            )
+            index_of = {key: i for i, key in enumerate(keys)}
+            flat._pending = [
+                index_of[key]
+                for key in graph._pending_full
+                if key in index_of
+            ]
+        dict_forest = graph._full_forest
+        for item in list(dict_forest._parent):
+            root = dict_forest.find(item)
+            if root != item:
+                flat._forest.union(item, root)
+        return flat
+
+    def to_cell_graph(self) -> CellGraph:
+        """Convert to the dict reference layout (int cell ids).
+
+        The union-find trees are rebuilt from connectivity, so the
+        round-trip preserves behaviour (which edges future reductions
+        remove) rather than the internal tree shape.
+        """
+        graph = CellGraph()
+        graph.core = self.core
+        graph.noncore = self.noncore
+        graph.undetermined = self.undetermined
+        src = self.src.tolist()
+        dst = self.dst.tolist()
+        types = self.etype.tolist()
+        for i in range(len(src)):
+            key = (src[i], dst[i])
+            edge_type = EdgeType(types[i])
+            graph.edges[key] = edge_type
+            if edge_type is EdgeType.UNDETERMINED:
+                graph._undetermined_edges.add(key)
+                graph._undetermined_by_dst.setdefault(key[1], set()).add(key)
+        graph._pending_full = [(src[e], dst[e]) for e in self._pending]
+        parent = self._forest._parent
+        for item in range(len(parent)):
+            if parent[item] != item:
+                graph._full_forest.union(item, self._forest.find(item))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`ValueError` on
+        violation.  Intended for tests and debugging."""
+        if self.src.size != self.dst.size or self.src.size != self.etype.size:
+            raise ValueError("edge columns have mismatched lengths")
+        if self.src.size == 0:
+            return
+        if (self.src < 0).any() or (self.src >= self.n_slots).any():
+            raise ValueError("edge source outside the vertex universe")
+        if (self.dst < 0).any() or (self.dst >= self.n_slots).any():
+            raise ValueError("edge target outside the vertex universe")
+        src_status = self.status[self.src]
+        dst_status = self.status[self.dst]
+        if (src_status == V_ABSENT).any() or (dst_status == V_ABSENT).any():
+            raise ValueError("edge references an absent vertex")
+        if (src_status == V_NONCORE).any():
+            raise ValueError("edge source is a non-core cell")
+        full = self.etype == int(EdgeType.FULL)
+        if (src_status[full] != V_CORE).any() or (
+            dst_status[full] != V_CORE
+        ).any():
+            raise ValueError("full edge endpoint not core")
+        partial = self.etype == int(EdgeType.PARTIAL)
+        if (dst_status[partial] != V_NONCORE).any():
+            raise ValueError("partial edge target not non-core")
+        keys = self._edge_keys()
+        if np.unique(keys).size != keys.size:
+            raise ValueError("duplicate edge key in flat graph")

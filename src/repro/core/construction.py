@@ -22,7 +22,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cell_graph import CellGraph, EdgeType
+from repro.core.cell_graph import (
+    V_CORE,
+    V_NONCORE,
+    V_UNDETERMINED,
+    CellGraph,
+    EdgeType,
+    FlatCellGraph,
+)
 from repro.core.cells import CellGeometry
 from repro.core.defragmentation import (
     DefragmentedDictionary,
@@ -104,8 +111,10 @@ class SubgraphResult:
     pid:
         Partition id.
     graph:
-        The partition's cell subgraph (Definition 5.8).  Vertices are
-        dense cell *indices* into the broadcast dictionary's
+        The partition's cell subgraph (Definition 5.8) in the requested
+        layout (columnar :class:`FlatCellGraph` or dict
+        :class:`CellGraph`).  Vertices are dense cell *indices* into the
+        broadcast dictionary's
         :attr:`~repro.core.dictionary.CellDictionary.index_map`.
     core_mask:
         Boolean per partition row: is the point core?  Aligned with
@@ -115,13 +124,17 @@ class SubgraphResult:
     """
 
     pid: int
-    graph: CellGraph
+    graph: CellGraph | FlatCellGraph
     core_mask: np.ndarray
     num_queries: int
 
 
 def build_cell_subgraph(
-    partition: Partition, context: QueryContext, min_pts: int
+    partition: Partition,
+    context: QueryContext,
+    min_pts: int,
+    *,
+    graph_layout: str = "dict",
 ) -> SubgraphResult:
     """Run Algorithm 3 for one partition.
 
@@ -135,6 +148,11 @@ def build_cell_subgraph(
         DBSCAN ``minPts``; a point is core when the density sum of its
         (eps, rho)-neighbor sub-cells reaches it (the count includes the
         point's own sub-cell, matching ``|N_eps(p)| >= minPts``).
+    graph_layout:
+        ``"flat"`` emits a columnar :class:`FlatCellGraph` directly (the
+        merge plane's hot path — no dict graph is ever materialized);
+        ``"dict"`` emits the reference :class:`CellGraph`.  Both layouts
+        carry the identical vertex classes and edge multiset.
 
     Returns
     -------
@@ -142,9 +160,10 @@ def build_cell_subgraph(
     """
     if min_pts < 1:
         raise ValueError("min_pts must be >= 1")
+    if graph_layout not in ("flat", "dict"):
+        raise ValueError(f"unknown graph_layout {graph_layout!r}")
     engine = context.engine
     index_map = context.dictionary.index_map
-    graph = CellGraph()
     owned = {index_map[cid] for cid in partition.cell_slices}
     core_mask = np.zeros(partition.num_points, dtype=bool)
     num_queries = 0
@@ -179,25 +198,80 @@ def build_cell_subgraph(
                 ]
 
     # Second pass: classify owned cells and emit edges.
-    for cell_id in partition.cell_slices:
-        idx = index_map[cell_id]
-        if idx in core_cells:
-            graph.add_core_cell(idx)
-        else:
-            graph.add_noncore_cell(idx)
-    for src, targets in touch_by_cell.items():
-        for dst in targets:
-            if dst == src:
-                continue
-            if dst in owned:
-                edge_type = EdgeType.FULL if dst in core_cells else EdgeType.PARTIAL
+    if graph_layout == "flat":
+        graph: CellGraph | FlatCellGraph = _assemble_flat_subgraph(
+            context.dictionary.num_cells, owned, core_cells, touch_by_cell
+        )
+    else:
+        graph = CellGraph()
+        for cell_id in partition.cell_slices:
+            idx = index_map[cell_id]
+            if idx in core_cells:
+                graph.add_core_cell(idx)
             else:
-                graph.add_undetermined_cell(dst)
-                edge_type = EdgeType.UNDETERMINED
-            graph.add_edge(src, dst, edge_type)
+                graph.add_noncore_cell(idx)
+        for src, targets in touch_by_cell.items():
+            for dst in targets:
+                if dst == src:
+                    continue
+                if dst in owned:
+                    edge_type = (
+                        EdgeType.FULL if dst in core_cells else EdgeType.PARTIAL
+                    )
+                else:
+                    graph.add_undetermined_cell(dst)
+                    edge_type = EdgeType.UNDETERMINED
+                graph.add_edge(src, dst, edge_type)
     return SubgraphResult(
         pid=partition.pid,
         graph=graph,
         core_mask=core_mask,
         num_queries=num_queries,
     )
+
+
+def _assemble_flat_subgraph(
+    n_slots: int,
+    owned: set[int],
+    core_cells: set[int],
+    touch_by_cell: dict[int, list[int]],
+) -> FlatCellGraph:
+    """Assemble the columnar subgraph from pass-1 results.
+
+    Vectorized second pass of Algorithm 3: vertex classes land in one
+    int8 status array and edge types come from a single gather of
+    destination ownership/core-ness — the same classification rules as
+    the dict branch, so both layouts carry identical edges.
+    """
+    status = np.zeros(n_slots, dtype=np.int8)
+    owned_rows = np.fromiter(owned, dtype=np.int64, count=len(owned))
+    status[owned_rows] = V_NONCORE
+    if core_cells:
+        status[np.fromiter(core_cells, dtype=np.int64, count=len(core_cells))] = (
+            V_CORE
+        )
+    src_blocks: list[np.ndarray] = []
+    dst_blocks: list[np.ndarray] = []
+    for src, targets in touch_by_cell.items():
+        dst = np.asarray(targets, dtype=np.int64)
+        dst = dst[dst != src]
+        if dst.size:
+            src_blocks.append(np.full(dst.size, src, dtype=np.int32))
+            dst_blocks.append(dst.astype(np.int32))
+    if src_blocks:
+        src = np.concatenate(src_blocks)
+        dst = np.concatenate(dst_blocks)
+    else:
+        src = np.empty(0, dtype=np.int32)
+        dst = np.empty(0, dtype=np.int32)
+    owned_mask = np.zeros(n_slots, dtype=bool)
+    owned_mask[owned_rows] = True
+    dst_owned = owned_mask[dst]
+    dst_core = status[dst] == V_CORE
+    etype = np.where(
+        dst_owned,
+        np.where(dst_core, int(EdgeType.FULL), int(EdgeType.PARTIAL)),
+        int(EdgeType.UNDETERMINED),
+    ).astype(np.int8)
+    status[dst[~dst_owned]] = V_UNDETERMINED
+    return FlatCellGraph.from_arrays(status, src, dst, etype)

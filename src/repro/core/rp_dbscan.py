@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cell_graph import CellGraph
+from repro.core.cell_graph import CellGraph, FlatCellGraph
 from repro.core.cells import CellGeometry
 from repro.core.construction import QueryContext, SubgraphResult, build_cell_subgraph
 from repro.core.dictionary import (
@@ -35,7 +35,12 @@ from repro.core.labeling import (
     build_labeling_context,
     label_partition,
 )
-from repro.core.merging import MergeStats, progressive_merge
+from repro.core.merging import (
+    MERGE_MODES,
+    PHASE_MERGE,
+    MergeStats,
+    progressive_merge,
+)
 from repro.core.partitioning import Partition, pseudo_random_partition
 from repro.engine.counters import Counters
 from repro.engine.executors import Engine
@@ -65,7 +70,8 @@ EXACT_RHO = 2.0**-16
 PHASE_PARTITION = "I-1 partitioning"
 PHASE_DICTIONARY = "I-2 dictionary"
 PHASE_CELL_GRAPH = "II cell graph"
-PHASE_MERGE = "III-1 merging"
+# PHASE_MERGE is defined in repro.core.merging (the module that owns the
+# bucket) and re-exported here alongside its siblings.
 PHASE_LABEL = "III-2 labeling"
 
 #: The five phases in execution order (Figure 12's legend).
@@ -96,8 +102,10 @@ def _dictionary_worker(partition: Partition, broadcast):
 
 
 def _phase2_worker(partition: Partition, broadcast) -> SubgraphResult:
-    context, min_pts = broadcast
-    return build_cell_subgraph(partition, context, min_pts)
+    context, min_pts, graph_layout = broadcast
+    return build_cell_subgraph(
+        partition, context, min_pts, graph_layout=graph_layout
+    )
 
 
 def _phase2_warmup(broadcast) -> None:
@@ -109,7 +117,7 @@ def _phase2_warmup(broadcast) -> None:
     timing — that is what keeps Fig 13's slowest/fastest ratio a load
     measurement instead of a warm-up artifact.
     """
-    context, _ = broadcast
+    context = broadcast[0]
     context.engine
 
 
@@ -149,7 +157,7 @@ class RPDBSCANResult:
     dictionary_model: DictionarySizeModel
     partition_sizes: list[int] = field(default_factory=list)
     num_points: int = 0
-    global_graph: CellGraph | None = None
+    global_graph: CellGraph | FlatCellGraph | None = None
     subdict_stats: tuple[int, float] | None = None
 
     @property
@@ -264,6 +272,19 @@ class RPDBSCAN:
         Phase I-2, CSR region queries, and shared-memory-broadcast
         eligible.  ``"dict"`` keeps the dict-of-dataclass layout; both
         produce bit-identical labels.
+    graph_layout:
+        ``"flat"`` (default) makes Phase II emit columnar
+        :class:`~repro.core.cell_graph.FlatCellGraph` subgraphs
+        (vectorized Phase III-1 matches, compact merge payloads);
+        ``"dict"`` keeps the reference :class:`CellGraph`.  Labels,
+        ``n_clusters``, and per-round merge accounting are bit-identical
+        across layouts.
+    merge_mode:
+        Phase III-1 tournament scheduling: ``"driver"`` runs every match
+        on the driver, ``"engine"`` dispatches each round's matches
+        through the engine, ``"auto"`` (default) picks per run via a
+        cost model (engine only for process engines with enough work).
+        The clustering is bit-identical across modes.
 
     Examples
     --------
@@ -291,6 +312,8 @@ class RPDBSCAN:
         fault_policy: FaultPolicy | None = None,
         defragment_capacity: int | None = None,
         dictionary_layout: str = "flat",
+        graph_layout: str = "flat",
+        merge_mode: str = "auto",
     ) -> None:
         if eps <= 0:
             raise ValueError("eps must be positive")
@@ -302,6 +325,14 @@ class RPDBSCAN:
             raise ValueError(
                 f"dictionary_layout must be 'flat' or 'dict', got "
                 f"{dictionary_layout!r}"
+            )
+        if graph_layout not in ("flat", "dict"):
+            raise ValueError(
+                f"graph_layout must be 'flat' or 'dict', got {graph_layout!r}"
+            )
+        if merge_mode not in MERGE_MODES:
+            raise ValueError(
+                f"merge_mode must be one of {MERGE_MODES}, got {merge_mode!r}"
             )
         self.eps = float(eps)
         self.min_pts = int(min_pts)
@@ -316,6 +347,8 @@ class RPDBSCAN:
             self.engine.fault_policy = fault_policy
         self.defragment_capacity = defragment_capacity
         self.dictionary_layout = dictionary_layout
+        self.graph_layout = graph_layout
+        self.merge_mode = merge_mode
 
     def fit(self, points: np.ndarray) -> RPDBSCANResult:
         """Cluster ``points`` and return the full result object.
@@ -410,18 +443,24 @@ class RPDBSCAN:
         subgraph_results: list[SubgraphResult] = self.engine.map_tasks(
             _phase2_worker,
             partitions,
-            broadcast=(context, self.min_pts),
+            broadcast=(context, self.min_pts, self.graph_layout),
             phase=PHASE_CELL_GRAPH,
             item_counter=lambda p: p.num_points,
             warmup=_phase2_warmup,
         )
 
         # ---------------- Phase III-1: progressive graph merging -------
+        # progressive_merge owns the Phase III-1 accounting: driver-mode
+        # tournaments run inside one driver span, engine-mode ones open
+        # per-round phase spans via map_tasks (all in the PHASE_MERGE
+        # counter bucket).  Only the labeling-context build stays here.
+        graphs = [r.graph for r in subgraph_results]
+        global_graph, merge_stats = progressive_merge(
+            graphs, merge_mode=self.merge_mode, engine=self.engine
+        )
         with counters.timed_phase(PHASE_MERGE), tracer.span(
-            PHASE_MERGE, "driver", phase=PHASE_MERGE
+            f"{PHASE_MERGE} (labeling context)", "driver", phase=PHASE_MERGE
         ):
-            graphs = [r.graph for r in subgraph_results]
-            global_graph, merge_stats = progressive_merge(graphs)
             core_masks = {r.pid: r.core_mask for r in subgraph_results}
             labeling_context = build_labeling_context(
                 global_graph, partitions, core_masks, self.eps,

@@ -17,17 +17,23 @@ byte-alignment padding of the bit-packed positions).
 
 from __future__ import annotations
 
+import io
+import pickle
 import struct
 
 import numpy as np
 
+from repro.core.cell_graph import CellGraph, FlatCellGraph
 from repro.core.cells import CellGeometry, CellId
 from repro.core.dictionary import CellDictionary, CellSummary, FlatCellDictionary
+from repro.graph.union_find import ArrayUnionFind
 
 __all__ = [
     "serialize_dictionary",
     "deserialize_dictionary",
     "deserialize_flat_dictionary",
+    "serialize_cell_graph",
+    "deserialize_cell_graph",
     "HEADER_BYTES",
 ]
 
@@ -217,3 +223,55 @@ def deserialize_flat_dictionary(data: bytes) -> FlatCellDictionary:
         sub_counts,
         validate=False,
     )
+
+
+# ----------------------------------------------------------------------
+# Cell-graph payloads (Phase III-1 engine tournament)
+# ----------------------------------------------------------------------
+
+_GRAPH_MAGIC_FLAT = b"RPGF"
+_GRAPH_MAGIC_DICT = b"RPGD"
+
+
+def serialize_cell_graph(graph: CellGraph | FlatCellGraph) -> bytes:
+    """Encode a cell (sub)graph for an engine merge-task payload.
+
+    Flat graphs become a 4-byte magic plus an npz archive of their
+    columns (status, edge list, pending indices, union-find parents) —
+    compact, pickle-free, and exactly round-trippable.  Dict graphs fall
+    back to a magic-prefixed pickle so both layouts flow through the
+    same tournament plumbing.
+    """
+    if isinstance(graph, FlatCellGraph):
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            status=graph.status,
+            src=graph.src,
+            dst=graph.dst,
+            etype=graph.etype,
+            pending=np.asarray(graph._pending, dtype=np.int64),
+            parent=graph._forest.to_array(),
+        )
+        return _GRAPH_MAGIC_FLAT + buffer.getvalue()
+    return _GRAPH_MAGIC_DICT + pickle.dumps(
+        graph, protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def deserialize_cell_graph(data: bytes) -> CellGraph | FlatCellGraph:
+    """Inverse of :func:`serialize_cell_graph` (dispatches on magic)."""
+    magic = data[:4]
+    if magic == _GRAPH_MAGIC_FLAT:
+        with np.load(io.BytesIO(data[4:]), allow_pickle=False) as archive:
+            return FlatCellGraph.from_arrays(
+                archive["status"],
+                archive["src"],
+                archive["dst"],
+                archive["etype"],
+                pending=archive["pending"].tolist(),
+                forest=ArrayUnionFind.from_array(archive["parent"]),
+            )
+    if magic == _GRAPH_MAGIC_DICT:
+        return pickle.loads(data[4:])
+    raise ValueError(f"unknown cell-graph stream magic {magic!r}")

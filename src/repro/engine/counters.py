@@ -87,6 +87,7 @@ class CountersMark:
     setup_seconds: dict[str, float]
     fault_events: dict[str, int] = field(default_factory=dict)
     broadcast_bytes: dict[str, int] = field(default_factory=dict)
+    merge_rounds: int = 0
 
 
 @dataclass
@@ -109,6 +110,13 @@ class Counters:
     #: channel maps instead of copying).  Serialized-bytes accounting of
     #: the engine's broadcast fan-outs; no timing semantics.
     broadcast_bytes: dict[str, int] = field(default_factory=dict)
+    #: Phase III-1 merge-round ledger: one dict per tournament round
+    #: (``resolved``, ``removed``, ``bytes_shipped``, ``wall_s``),
+    #: recorded by :func:`~repro.core.merging.progressive_merge` in both
+    #: driver and engine modes (``bytes_shipped`` is 0 on the driver).
+    #: Like the fault ledger these rows never enter :meth:`breakdown` —
+    #: round wall time already lands in the Phase III-1 bucket.
+    merge_rounds: list[dict] = field(default_factory=list)
     #: The metrics registry this shim mirrors into (see the module
     #: docstring for the bucket → metric name mapping).
     registry: MetricsRegistry = field(default_factory=MetricsRegistry, repr=False)
@@ -144,6 +152,23 @@ class Counters:
     def broadcast_total_bytes(self) -> int:
         """Total broadcast bytes across every channel."""
         return sum(self.broadcast_bytes.values())
+
+    def add_merge_round(
+        self, *, resolved: int, removed: int, bytes_shipped: int, wall_s: float
+    ) -> None:
+        """Record one Phase III-1 tournament round in the merge ledger."""
+        self.merge_rounds.append(
+            {
+                "resolved": resolved,
+                "removed": removed,
+                "bytes_shipped": bytes_shipped,
+                "wall_s": wall_s,
+            }
+        )
+        self.registry.counter("merge.rounds").inc(1)
+        self.registry.counter("merge.edges_resolved").inc(resolved)
+        self.registry.counter("merge.edges_removed").inc(removed)
+        self.registry.counter("merge.bytes_shipped").inc(bytes_shipped)
 
     def fault_event_count(self, kind: str) -> int:
         """Number of fault-recovery events recorded under ``kind``."""
@@ -251,6 +276,7 @@ class Counters:
             setup_seconds=dict(self.setup_seconds),
             fault_events=dict(self.fault_events),
             broadcast_bytes=dict(self.broadcast_bytes),
+            merge_rounds=len(self.merge_rounds),
         )
 
     def since(self, mark: CountersMark) -> Counters:
@@ -283,4 +309,6 @@ class Counters:
             diff = nbytes - mark.broadcast_bytes.get(channel, 0)
             if diff > 0:
                 delta.add_broadcast_bytes(channel, diff)
+        for row in self.merge_rounds[mark.merge_rounds:]:
+            delta.add_merge_round(**row)
         return delta

@@ -465,6 +465,7 @@ class Engine:
         *,
         broadcast: Any = None,
         phase: str = "map",
+        trace_phase: str | None = None,
         item_counter: Callable[[Any], int] | None = None,
         warmup: Callable[[Any], Any] | None = None,
     ) -> list[Any]:
@@ -485,6 +486,13 @@ class Engine:
             to consecutive calls reuses the per-worker cache.
         phase:
             Counter bucket for the task stats.
+        trace_phase:
+            Optional display name for this call's spans (phase span
+            name, task/attempt phase coordinates, fault-injector phase
+            key).  Defaults to ``phase``.  Lets repeated calls within
+            one logical phase — e.g. tournament rounds of Phase III-1 —
+            show up as distinct spans while their time still aggregates
+            into the single ``phase`` counter bucket.
         item_counter:
             Optional function mapping a *task* to the number of items it
             carries, recorded in :class:`TaskStats` for the duplication
@@ -511,6 +519,7 @@ class Engine:
                 "map_tasks on a closed Engine; construct a new Engine instead"
             )
         wants_broadcast = broadcast is not None
+        label = trace_phase if trace_phase is not None else phase
         results: list[Any] = [None] * len(tasks)
         if self.mode == "process" and len(tasks) > 1:
             # Setup (pool startup + broadcast shipping + warm-up) happens
@@ -527,15 +536,16 @@ class Engine:
                     broadcast=broadcast,
                     wants_broadcast=wants_broadcast,
                     warmup=warmup,
-                    phase=phase,
+                    phase=label,
+                    counter_phase=phase,
                     item_counter=item_counter,
                 )
             payloads = [
-                (fn, task_id, task, epoch, phase, 0, None, self.profile)
+                (fn, task_id, task, epoch, label, 0, None, self.profile)
                 for task_id, task in enumerate(tasks)
             ]
             with self.counters.timed_phase(phase), self.tracer.span(
-                phase, "phase", phase=phase
+                label, "phase", phase=label
             ):
                 for task_id, result, elapsed, pid, start_ts, blob in (
                     pool.imap_unordered(_run_task, payloads)
@@ -545,19 +555,19 @@ class Engine:
                     if blob is not None:
                         self.profile_blobs.append(blob)
                     self._trace_oneshot(
-                        phase, task_id, start_ts, start_ts + elapsed, pid, epoch
+                        label, task_id, start_ts, start_ts + elapsed, pid, epoch
                     )
         else:
             if wants_broadcast and warmup is not None:
                 self._warm_inline(broadcast, warmup)
             with self.counters.timed_phase(phase), self.tracer.span(
-                phase, "phase", phase=phase
+                label, "phase", phase=label
             ):
                 for task_id, task in enumerate(tasks):
                     if self.fault_policy is not None:
                         results[task_id] = self._run_inline_with_retries(
                             fn, task_id, task, broadcast, wants_broadcast,
-                            phase, item_counter,
+                            label, phase, item_counter,
                         )
                         continue
                     start = time.perf_counter()
@@ -573,7 +583,7 @@ class Engine:
                         phase, task_id, task, elapsed, item_counter, DRIVER_WORKER
                     )
                     self._trace_oneshot(
-                        phase, task_id, start, start + elapsed, DRIVER_WORKER, None
+                        label, task_id, start, start + elapsed, DRIVER_WORKER, None
                     )
         return results
 
@@ -618,6 +628,7 @@ class Engine:
         broadcast: Any,
         wants_broadcast: bool,
         phase: str,
+        counter_phase: str,
         item_counter: Callable[[Any], int] | None,
     ) -> Any:
         """Inline (driver-side) execution under the retry policy.
@@ -625,6 +636,8 @@ class Engine:
         Timeouts and speculation need preemption, which inline execution
         cannot do, so only the retry/backoff part of the policy applies;
         injected crashes degrade to exceptions (the driver must live).
+        ``phase`` is the display/injector label (``trace_phase`` of
+        :meth:`map_tasks`); ``counter_phase`` is the counter bucket.
         """
         policy = self.fault_policy
         injector = policy.injector
@@ -669,7 +682,9 @@ class Engine:
                 time.sleep(policy.backoff(failures))
                 continue
             elapsed = time.perf_counter() - start
-            self._record(phase, task_id, task, elapsed, item_counter, DRIVER_WORKER)
+            self._record(
+                counter_phase, task_id, task, elapsed, item_counter, DRIVER_WORKER
+            )
             if task_span is not None:
                 tracer.record_span(
                     f"task {task_id}#{failures}", "attempt",
@@ -690,6 +705,7 @@ class Engine:
         wants_broadcast: bool,
         warmup: Callable[[Any], Any] | None,
         phase: str,
+        counter_phase: str,
         item_counter: Callable[[Any], int] | None,
     ) -> list[Any]:
         """The driver-side recovery loop (process mode, ``len(tasks) > 1``).
@@ -705,6 +721,8 @@ class Engine:
         busy), re-spawns the pool when a worker died, and launches
         speculative duplicates for stragglers on free slots.  Phase time
         excludes re-spawn overhead, which is accounted as engine setup.
+        ``phase`` is the display/injector label (``trace_phase`` of
+        :meth:`map_tasks`); ``counter_phase`` is the counter bucket.
         """
         policy = self.fault_policy
         injector = policy.injector
@@ -925,7 +943,7 @@ class Engine:
                                 results[task_id] = result
                                 durations.append(elapsed)
                                 self._record(
-                                    phase, task_id, tasks[task_id],
+                                    counter_phase, task_id, tasks[task_id],
                                     elapsed, item_counter, pid,
                                 )
                     elif (
@@ -1006,7 +1024,7 @@ class Engine:
             else:
                 tracer.end_span(phase_span)
             self.counters.add_phase_time(
-                phase, time.perf_counter() - start - recovery_setup
+                counter_phase, time.perf_counter() - start - recovery_setup
             )
         return results
 

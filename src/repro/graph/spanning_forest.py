@@ -11,9 +11,15 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
 
-from repro.graph.union_find import UnionFind
+import numpy as np
 
-__all__ = ["spanning_forest", "connected_components"]
+from repro.graph.union_find import ArrayUnionFind, UnionFind
+
+__all__ = [
+    "spanning_forest",
+    "connected_components",
+    "connected_components_arrays",
+]
 
 Edge = tuple[Hashable, Hashable]
 
@@ -55,3 +61,33 @@ def connected_components(
     for u, v in edges:
         uf.union(u, v)
     return uf.component_labels()
+
+
+def connected_components_arrays(
+    n_slots: int, src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Canonical component label per slot of a dense vertex universe.
+
+    Columnar counterpart of :func:`connected_components` for the flat
+    cell graph: vertices are ``0 .. n_slots - 1`` and the edge list is a
+    pair of integer arrays.  Components are numbered in ascending order
+    of their smallest member, which matches
+    :meth:`~repro.graph.union_find.UnionFind.component_labels` on integer
+    vertices — the labeling depends only on connectivity, not on which
+    spanning-forest edges produced it.
+    """
+    uf = ArrayUnionFind(n_slots)
+    for u, v in zip(src.tolist(), dst.tolist()):
+        uf.union(u, v)
+    roots = uf.roots()
+    if roots.size == 0:
+        return np.empty(0, dtype=np.int64)
+    _, first_index, inverse = np.unique(
+        roots, return_index=True, return_inverse=True
+    )
+    # np.unique orders components by root id; renumber by smallest
+    # member (= first occurrence index, since slots ascend).
+    order = np.argsort(first_index, kind="stable")
+    remap = np.empty(order.size, dtype=np.int64)
+    remap[order] = np.arange(order.size, dtype=np.int64)
+    return remap[inverse]

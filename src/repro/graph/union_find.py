@@ -10,9 +10,11 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable
 from typing import TypeVar
 
+import numpy as np
+
 T = TypeVar("T", bound=Hashable)
 
-__all__ = ["UnionFind"]
+__all__ = ["UnionFind", "ArrayUnionFind"]
 
 
 class UnionFind:
@@ -115,12 +117,107 @@ class UnionFind:
         return out
 
     def component_labels(self) -> dict[Hashable, int]:
-        """Dense integer label per item, stable across equal structures.
+        """Dense integer label per item, canonical for the partition.
 
-        Labels are assigned in sorted order of the string form of the
-        representatives so that two structurally equal union-finds always
-        produce the same labeling (useful for deterministic cluster ids).
+        Components are numbered by the string form of their *smallest
+        member*, not of their union-find representative, so the labeling
+        is a pure function of the partition into components: two
+        union-finds describing the same connectivity yield identical
+        labels even when their internal trees — and hence their
+        representatives — differ (e.g. after removing different redundant
+        full edges in the Sec 6.1.4 spanning-forest reduction).
         """
-        reps = sorted({self.find(item) for item in self._parent}, key=repr)
-        rep_to_label = {rep: i for i, rep in enumerate(reps)}
+        canonical: dict[Hashable, Hashable] = {}
+        for item in self._parent:
+            root = self.find(item)
+            best = canonical.get(root)
+            if best is None or repr(item) < repr(best):
+                canonical[root] = item
+        order = sorted(canonical, key=lambda root: repr(canonical[root]))
+        rep_to_label = {root: i for i, root in enumerate(order)}
         return {item: rep_to_label[self.find(item)] for item in self._parent}
+
+
+class ArrayUnionFind:
+    """Union-find over the dense integer universe ``0 .. n_slots - 1``.
+
+    The columnar counterpart of :class:`UnionFind` used by
+    ``FlatCellGraph``: the vertex universe is fixed up front (the
+    dictionary's dense flat-row cell indices), the parent table is a flat
+    Python list walked with path halving, and the whole structure
+    round-trips to an ``int32`` array for npz-style task payloads.
+    Unlike :class:`UnionFind` there is no lazy item registration and no
+    rank bookkeeping — path halving alone keeps trees shallow for the
+    union/find mixes of the spanning-forest reduction.
+    """
+
+    __slots__ = ("_parent",)
+
+    def __init__(self, n_slots: int = 0) -> None:
+        self._parent: list[int] = list(range(int(n_slots)))
+
+    @property
+    def n_slots(self) -> int:
+        """Size of the vertex universe (absent vertices included)."""
+        return len(self._parent)
+
+    def find(self, item: int) -> int:
+        """Root of ``item``'s tree, halving the path on the way up."""
+        parent = self._parent
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``.
+
+        Returns ``True`` when the edge joined two distinct sets (a
+        spanning-forest edge), ``False`` when it was redundant.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[rb] = ra
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def copy(self) -> "ArrayUnionFind":
+        """Independent copy with the same connectivity."""
+        clone = ArrayUnionFind.__new__(ArrayUnionFind)
+        clone._parent = list(self._parent)
+        return clone
+
+    def merge_from(self, other: "ArrayUnionFind") -> None:
+        """Union in all of ``other``'s connectivity (same universe)."""
+        if other.n_slots != self.n_slots:
+            raise ValueError(
+                f"universe mismatch: {self.n_slots} vs {other.n_slots}"
+            )
+        parent = other._parent
+        for item in range(len(parent)):
+            if parent[item] != item:
+                self.union(item, other.find(item))
+
+    def to_array(self) -> np.ndarray:
+        """Parent table as an ``int32`` array (for serialization)."""
+        return np.asarray(self._parent, dtype=np.int32)
+
+    @classmethod
+    def from_array(cls, parent: np.ndarray) -> "ArrayUnionFind":
+        """Rebuild from a parent table produced by :meth:`to_array`."""
+        clone = cls.__new__(cls)
+        clone._parent = [int(p) for p in parent.tolist()]
+        return clone
+
+    def roots(self) -> np.ndarray:
+        """Fully-compressed root per slot as an ``int32`` array."""
+        parent = np.asarray(self._parent, dtype=np.int32)
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                return parent
+            parent = grand

@@ -37,7 +37,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiling import dump_merged_profile, merge_profile_blobs, profile_call
-from repro.obs.report import render_run_report
+from repro.obs.report import merge_ledger_rows, render_run_report
 from repro.obs.spans import (
     EVENT_RESPAWN,
     EVENT_RETRY,
@@ -76,6 +76,7 @@ __all__ = [
     "write_trace",
     "TRACE_FORMATS",
     "render_run_report",
+    "merge_ledger_rows",
     "profile_call",
     "merge_profile_blobs",
     "dump_merged_profile",

@@ -41,6 +41,7 @@ __all__ = [
     "worker_busy_seconds",
     "broadcast_ledger_rows",
     "fault_ledger_rows",
+    "merge_ledger_rows",
 ]
 
 #: An attempt at least this many times slower than its phase median is
@@ -188,6 +189,36 @@ def broadcast_ledger_rows(spans: list[Span]) -> list[list]:
     return rows
 
 
+def merge_ledger_rows(spans: list[Span]) -> list[list]:
+    """One row per engine-scheduled Phase III-1 tournament round.
+
+    Rendered from the per-round phase spans the engine tournament
+    annotates (``merge_round`` et al.); driver-mode tournaments — whose
+    span is modeled, not measured — record no round spans and produce no
+    rows (their per-round accounting lives in ``MergeStats``).
+    """
+    rows = []
+    for span in spans:
+        if span.kind != "phase" or "merge_round" not in span.annotations:
+            continue
+        notes = span.annotations
+        shipped = notes.get("bytes_shipped")
+        rows.append(
+            [
+                notes.get("merge_round"),
+                notes.get("matches"),
+                notes.get("edges_in"),
+                notes.get("edges_out"),
+                notes.get("resolved"),
+                notes.get("removed"),
+                f"{shipped} B" if shipped is not None else None,
+                format_duration(span.duration_s),
+            ]
+        )
+    rows.sort(key=lambda row: (row[0] is None, row[0]))
+    return rows
+
+
 def fault_ledger_rows(spans: list[Span]) -> list[list]:
     """Fault events with wall-clock timestamps, in event order."""
     rows = []
@@ -274,6 +305,22 @@ def render_run_report(spans: list[Span], *, title: str = "run report") -> str:
                     f"critical path: {format_duration(critical)} lower bound "
                     f"vs {format_duration(elapsed)} elapsed "
                     f"({format_duration(max(slack, 0.0))} schedulable slack)"
+                ),
+            )
+        )
+
+    rows = merge_ledger_rows(spans)
+    if rows:
+        sections.append(
+            format_table(
+                [
+                    "round", "matches", "edges in", "edges out",
+                    "resolved", "removed", "shipped", "wall",
+                ],
+                rows,
+                title=(
+                    "merge-round ledger "
+                    "(engine-scheduled tournament, measured walls)"
                 ),
             )
         )

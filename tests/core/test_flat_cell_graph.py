@@ -1,0 +1,333 @@
+"""FlatCellGraph: the columnar cell graph vs the CellGraph reference.
+
+Every behavior the tournament relies on — construction, absorb, edge-type
+detection, reduction, serialization — must be bit-identical between the
+struct-of-arrays layout and the dict-of-tuples reference.  Vertex ids are
+dense flat rows (PR 4), so both layouts speak the same integer universe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cell_graph import (
+    V_ABSENT,
+    V_CORE,
+    V_NONCORE,
+    V_UNDETERMINED,
+    CellGraph,
+    EdgeType,
+    FlatCellGraph,
+)
+from repro.core.cells import CellGeometry
+from repro.core.construction import QueryContext, build_cell_subgraph
+from repro.core.dictionary import CellDictionary
+from repro.core.merging import merge_match, progressive_merge
+from repro.core.partitioning import pseudo_random_partition
+from repro.core.serialization import (
+    deserialize_cell_graph,
+    serialize_cell_graph,
+)
+from repro.graph.spanning_forest import (
+    connected_components,
+    connected_components_arrays,
+)
+from repro.graph.union_find import ArrayUnionFind
+
+
+def canonical(labels: dict) -> frozenset:
+    groups: dict = {}
+    for item, label in labels.items():
+        groups.setdefault(label, set()).add(item)
+    return frozenset(frozenset(g) for g in groups.values())
+
+
+def pipeline_subgraphs(seed: int, layout: str):
+    """Phase I + II on a two-blob dataset, in the requested layout."""
+    rng = np.random.default_rng(seed)
+    pts = np.concatenate(
+        [rng.normal([0, 0], 0.2, (60, 2)), rng.normal([4, 4], 0.2, (60, 2))]
+    )
+    geometry = CellGeometry(0.5, 2, 0.01)
+    partitions = pseudo_random_partition(pts, geometry, 4, seed=seed)
+    dictionary = CellDictionary.from_points(pts, geometry)
+    context = QueryContext(dictionary)
+    graphs = [
+        build_cell_subgraph(p, context, 5, graph_layout=layout).graph
+        for p in partitions
+    ]
+    return graphs, dictionary.num_cells
+
+
+def full_components(graph) -> frozenset:
+    return canonical(
+        connected_components(
+            sorted(graph.core), graph.edges_of_type(EdgeType.FULL)
+        )
+    )
+
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+class TestConstructionParity:
+    """Phase II must emit the same subgraph in either layout."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_vertices_and_edges_identical(self, seed):
+        flat_graphs, n_slots = pipeline_subgraphs(seed, "flat")
+        dict_graphs, _ = pipeline_subgraphs(seed, "dict")
+        for flat, ref in zip(flat_graphs, dict_graphs):
+            assert isinstance(flat, FlatCellGraph)
+            assert isinstance(ref, CellGraph)
+            assert flat.n_slots == n_slots
+            assert flat.core == ref.core
+            assert flat.noncore == ref.noncore
+            assert flat.undetermined == ref.undetermined
+            for etype in EdgeType:
+                assert flat.edges_of_type(etype) == ref.edges_of_type(etype)
+            flat.validate()
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_invalid_layout_rejected(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(0, 1, (30, 2))
+        geometry = CellGeometry(0.5, 2, 0.01)
+        partitions = pseudo_random_partition(pts, geometry, 2, seed=0)
+        dictionary = CellDictionary.from_points(pts, geometry)
+        with pytest.raises(ValueError, match="graph_layout"):
+            build_cell_subgraph(
+                partitions[0], QueryContext(dictionary), 5,
+                graph_layout="sparse",
+            )
+
+
+class TestMergeParity:
+    """merge_match and the full tournament agree across layouts."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_merge_match_counts_and_edges(self, seed):
+        flat_graphs, _ = pipeline_subgraphs(seed, "flat")
+        dict_graphs, _ = pipeline_subgraphs(seed, "dict")
+        fa, fb = flat_graphs[0].copy(), flat_graphs[1].copy()
+        da, db = dict_graphs[0].copy(), dict_graphs[1].copy()
+        f_merged, f_resolved, f_removed = merge_match(fa, fb)
+        d_merged, d_resolved, d_removed = merge_match(da, db)
+        assert f_resolved == d_resolved
+        assert f_removed == d_removed
+        # PARTIAL/UNDETERMINED edges are never reduced, so they match
+        # exactly; the surviving FULL set is a spanning structure whose
+        # membership depends on test order — only its connectivity (and
+        # size, via the removed count) is pinned down.
+        for etype in (EdgeType.PARTIAL, EdgeType.UNDETERMINED):
+            assert f_merged.edges_of_type(etype) == d_merged.edges_of_type(
+                etype
+            )
+        assert f_merged.core == d_merged.core
+        assert f_merged.noncore == d_merged.noncore
+        assert len(f_merged.edges_of_type(EdgeType.FULL)) == len(
+            d_merged.edges_of_type(EdgeType.FULL)
+        )
+        assert full_components(f_merged) == full_components(d_merged)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_progressive_merge_stats_and_components(self, seed):
+        flat_graphs, _ = pipeline_subgraphs(seed, "flat")
+        dict_graphs, _ = pipeline_subgraphs(seed, "dict")
+        f_final, f_stats = progressive_merge(flat_graphs)
+        d_final, d_stats = progressive_merge(dict_graphs)
+        assert f_stats.edges_per_round == d_stats.edges_per_round
+        assert f_stats.resolved_per_round == d_stats.resolved_per_round
+        assert f_stats.removed_per_round == d_stats.removed_per_round
+        assert f_final.is_global() and d_final.is_global()
+        assert full_components(f_final) == full_components(d_final)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_reduction_off_parity(self, seed):
+        flat_graphs, _ = pipeline_subgraphs(seed, "flat")
+        dict_graphs, _ = pipeline_subgraphs(seed, "dict")
+        f_final, f_stats = progressive_merge(flat_graphs, reduce_edges=False)
+        d_final, d_stats = progressive_merge(dict_graphs, reduce_edges=False)
+        assert f_stats.edges_per_round == d_stats.edges_per_round
+        assert f_final.num_edges == d_final.num_edges
+        assert full_components(f_final) == full_components(d_final)
+
+
+class TestConversions:
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_round_trip_through_dict(self, seed):
+        flat_graphs, n_slots = pipeline_subgraphs(seed, "flat")
+        for flat in flat_graphs:
+            back = FlatCellGraph.from_cell_graph(
+                flat.to_cell_graph(), n_slots
+            )
+            assert np.array_equal(back.status, flat.status)
+            for etype in EdgeType:
+                assert back.edges_of_type(etype) == flat.edges_of_type(etype)
+            # Pending FULL edges survive the round trip (as a set — the
+            # dict keeps insertion order, the flat graph positions).
+            pend = lambda g: {
+                (int(g.src[e]), int(g.dst[e])) for e in g._pending
+            }
+            assert pend(back) == pend(flat)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_round_trip_through_flat(self, seed):
+        dict_graphs, n_slots = pipeline_subgraphs(seed, "dict")
+        for ref in dict_graphs:
+            back = FlatCellGraph.from_cell_graph(ref, n_slots).to_cell_graph()
+            assert back.edges == ref.edges
+            assert back.core == ref.core
+            assert back.noncore == ref.noncore
+            assert back.undetermined == ref.undetermined
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_flat_blob_round_trip(self, seed):
+        flat_graphs, _ = pipeline_subgraphs(seed, "flat")
+        graph = flat_graphs[0]
+        blob = serialize_cell_graph(graph)
+        back = deserialize_cell_graph(blob)
+        assert isinstance(back, FlatCellGraph)
+        assert np.array_equal(back.status, graph.status)
+        assert np.array_equal(back.src, graph.src)
+        assert np.array_equal(back.dst, graph.dst)
+        assert np.array_equal(back.etype, graph.etype)
+        assert back._pending == graph._pending
+        assert np.array_equal(
+            back._forest.roots(), graph._forest.roots()
+        )
+
+    def test_dict_blob_round_trip(self):
+        graph = CellGraph()
+        graph.add_core_cell(0)
+        graph.add_noncore_cell(1)
+        graph.add_edge(0, 1, EdgeType.PARTIAL)
+        back = deserialize_cell_graph(serialize_cell_graph(graph))
+        assert isinstance(back, CellGraph)
+        assert back.edges == graph.edges
+
+    def test_unknown_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_cell_graph(b"NOPE" + b"\x00" * 16)
+
+
+class TestFlatGraphUnits:
+    def test_vertex_classes_and_promotion(self):
+        g = FlatCellGraph(4)
+        g.add_undetermined_cell(0)
+        g.add_noncore_cell(1)
+        g.add_core_cell(2)
+        assert g.vertex_status(0) == "undetermined"
+        assert g.vertex_status(1) == "noncore"
+        assert g.vertex_status(2) == "core"
+        assert g.vertex_status(3) == "absent"
+        # Undetermined never demotes a determined cell.
+        g.add_undetermined_cell(1)
+        assert g.vertex_status(1) == "noncore"
+        with pytest.raises(ValueError):
+            g.add_noncore_cell(2)
+        assert g.num_vertices == 3
+        assert not g.is_global()
+
+    def test_add_edge_upgrade_feeds_pending(self):
+        g = FlatCellGraph(3)
+        g.add_core_cell(0)
+        g.add_undetermined_cell(1)
+        g.add_edge(0, 1, EdgeType.UNDETERMINED)
+        assert g._pending == []
+        g.add_core_cell(1)
+        g.add_edge(0, 1, EdgeType.FULL)
+        assert g.num_edges == 1  # upgraded in place, not duplicated
+        assert g._pending == [0]
+        assert g.reduce_full_edges() == 0  # first tree edge survives
+
+    def test_absorb_overlap_falls_back_to_reference(self):
+        # Hand-built graphs can share an edge key; the result must match
+        # the dict reference's determined-wins semantics exactly.
+        a = FlatCellGraph(2)
+        a.add_core_cell(0)
+        a.add_undetermined_cell(1)
+        a.add_edge(0, 1, EdgeType.UNDETERMINED)
+        b = FlatCellGraph(2)
+        b.add_core_cell(0)
+        b.add_core_cell(1)
+        b.add_edge(0, 1, EdgeType.FULL)
+        ref_a, ref_b = a.to_cell_graph(), b.to_cell_graph()
+        a.absorb(b)
+        ref_a.absorb(ref_b)
+        assert a.num_edges == ref_a.num_edges == 1
+        for etype in EdgeType:
+            assert a.edges_of_type(etype) == ref_a.edges_of_type(etype)
+
+    def test_absorb_universe_mismatch(self):
+        with pytest.raises(ValueError, match="universe"):
+            FlatCellGraph(2).absorb(FlatCellGraph(3))
+
+    def test_validate_catches_corruption(self):
+        g = FlatCellGraph(3)
+        g.add_core_cell(0)
+        g.add_core_cell(1)
+        g.add_edge(0, 1, EdgeType.FULL)
+        g.validate()
+        bad = g.copy()
+        bad.status[1] = V_ABSENT
+        with pytest.raises(ValueError):
+            bad.validate()
+        bad = g.copy()
+        bad.etype[0] = int(EdgeType.PARTIAL)
+        with pytest.raises(ValueError, match="non-core"):
+            bad.validate()
+        bad = g.copy()
+        bad.src = np.append(bad.src, np.int32(0))
+        bad.dst = np.append(bad.dst, np.int32(1))
+        bad.etype = np.append(bad.etype, np.int8(int(EdgeType.FULL)))
+        with pytest.raises(ValueError, match="duplicate"):
+            bad.validate()
+
+    def test_status_priority_constants(self):
+        # absorb uses np.maximum over these, so the order is load-bearing.
+        assert V_ABSENT < V_UNDETERMINED < V_NONCORE < V_CORE
+
+
+class TestArrayUnionFind:
+    def test_union_find_connected(self):
+        uf = ArrayUnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.union(1, 2)
+        assert not uf.union(0, 2)  # cycle
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_merge_from_and_copy(self):
+        a = ArrayUnionFind(4)
+        a.union(0, 1)
+        b = a.copy()
+        b.union(2, 3)
+        assert not a.connected(2, 3)
+        a.merge_from(b)
+        assert a.connected(2, 3)
+        with pytest.raises(ValueError, match="universe"):
+            a.merge_from(ArrayUnionFind(5))
+
+    def test_array_round_trip(self):
+        uf = ArrayUnionFind(6)
+        uf.union(0, 3)
+        uf.union(4, 5)
+        back = ArrayUnionFind.from_array(uf.to_array())
+        for i in range(6):
+            for j in range(6):
+                assert back.connected(i, j) == uf.connected(i, j)
+
+    def test_components_match_hash_reference(self):
+        rng = np.random.default_rng(7)
+        n = 40
+        src = rng.integers(0, n, 60).astype(np.int32)
+        dst = rng.integers(0, n, 60).astype(np.int32)
+        labels = connected_components_arrays(n, src, dst)
+        ref = connected_components(
+            range(n), list(zip(src.tolist(), dst.tolist()))
+        )
+        assert canonical(dict(enumerate(labels.tolist()))) == canonical(ref)
+        # Canonical numbering: components ordered by smallest member.
+        assert labels[0] == 0
