@@ -1,0 +1,145 @@
+"""The out-of-core sharded data plane, measured.
+
+Two claims the budgeted partial broadcast rides on, asserted with the
+usual jitter headroom:
+
+* **bounded residency** — a process-mode fit driven from a
+  memory-mapped source with ``broadcast_budget`` set must keep every
+  worker's peak resident broadcast bytes at or under the budget, while
+  the total shard payload shipped through shared memory *exceeds* the
+  budget (i.e. the run genuinely paged shards in and out rather than
+  fitting everything at once);
+* **bounded slowdown** — the budgeted run's wall time must stay within
+  ``TOLERANCE`` times the full-broadcast wall time: the LRU shard cache
+  trades a bounded amount of re-attachment churn for the memory cap.
+
+Labels must be bit-identical between the two runs — the budget is a
+residency knob, never an accuracy knob.
+
+The published table records the measured numbers for the bench artifact.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from common import bench_dataset, eps_grid, publish, run_once
+
+from repro import RPDBSCAN
+from repro.bench.reporting import format_table
+from repro.data.streaming import MemmapSource
+from repro.engine import Engine
+
+N_POINTS = 20_000
+MIN_PTS = 20
+PARTITIONS = 8
+NUM_WORKERS = 2
+REPEATS = 2
+#: Worker-resident broadcast budget, deliberately below the full shard
+#: payload at this scale (~2 MB) so the LRU cache has to evict, but not
+#: so tight that attach churn dominates the wall time.
+BUDGET = 512 * 1024
+#: The budgeted run must stay within this factor of the full-broadcast
+#: wall time (jitter headroom on top of the real churn cost).
+TOLERANCE = 1.3
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def run_experiment():
+    points = bench_dataset("GeoLife", N_POINTS)
+    eps = eps_grid("GeoLife")[2]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "points.npy"
+        np.save(path, points)
+
+        # Both runs ingest from the same memory-mapped source so the only
+        # variable under test is the broadcast mode: full (every worker
+        # maps the whole dictionary) vs budgeted (LRU partial residency).
+        def fit(budget):
+            source = MemmapSource.from_npy(path)
+            with Engine(
+                "process", num_workers=NUM_WORKERS, broadcast_channel="shm"
+            ) as engine:
+                return RPDBSCAN(
+                    eps,
+                    MIN_PTS,
+                    PARTITIONS,
+                    seed=0,
+                    engine=engine,
+                    broadcast_budget=budget,
+                ).fit(source)
+
+        full_s, full = _best_of(lambda: fit(None))
+        budgeted_s, budgeted = _best_of(lambda: fit(BUDGET))
+
+    residency = budgeted.broadcast_residency
+    workers = residency["workers"]
+    driver = residency["driver"]
+    shipped = budgeted.counters.broadcast_bytes
+    return {
+        "full_s": full_s,
+        "budgeted_s": budgeted_s,
+        "labels_identical": bool(np.array_equal(budgeted.labels, full.labels)),
+        "full_segment_bytes": full.counters.broadcast_bytes.get("shm_segment", 0),
+        "root_segment_bytes": shipped.get("shm_root_segment", 0),
+        "shard_segment_bytes": shipped.get("shm_shard_segments", 0),
+        "num_shards": driver["num_shards"],
+        "num_workers_reporting": len(workers),
+        "worker_peaks": [stats["peak_resident_bytes"] for stats in workers],
+        "worker_evictions": sum(stats["shard_evictions"] for stats in workers),
+        "worker_attaches": sum(stats["shard_attaches"] for stats in workers),
+        "n_clusters": budgeted.n_clusters,
+    }
+
+
+def test_ooc_plane(benchmark):
+    out = run_once(benchmark, run_experiment)
+
+    peak = max(out["worker_peaks"], default=0)
+    table = [
+        ["wall time", f"{out['full_s']:.3f}s", f"{out['budgeted_s']:.3f}s",
+         f"{out['budgeted_s'] / max(out['full_s'], 1e-9):.2f}x"],
+        ["segment bytes shipped", f"{out['full_segment_bytes']} B",
+         f"{out['root_segment_bytes'] + out['shard_segment_bytes']} B "
+         f"({out['num_shards']} shards)", None],
+        ["peak worker-resident", f"{out['full_segment_bytes']} B (all mapped)",
+         f"{peak} B", f"budget {BUDGET} B"],
+        ["shard cache churn", "-",
+         f"{out['worker_attaches']} attaches / "
+         f"{out['worker_evictions']} evictions", None],
+    ]
+    publish(
+        "ooc_plane",
+        format_table(
+            ["stage", "full broadcast", "budgeted broadcast", "ratio"],
+            table,
+            title=(
+                f"Out-of-core data plane (GeoLife {N_POINTS} via memmap, "
+                f"{PARTITIONS} partitions, {NUM_WORKERS} workers, "
+                f"budget {BUDGET} B: {out['n_clusters']} clusters)"
+            ),
+        ),
+    )
+
+    # The budget is a residency knob, never an accuracy knob.
+    assert out["labels_identical"]
+    # Every worker reported a ledger and stayed within the budget.
+    assert out["num_workers_reporting"] == NUM_WORKERS
+    assert peak <= BUDGET
+    # The run genuinely paged: the shard payload exceeds the budget and
+    # the LRU cache had to evict to stay under it.
+    assert out["shard_segment_bytes"] > BUDGET
+    assert out["worker_evictions"] > 0
+    # Bounded slowdown: churn must not blow up the wall time.
+    assert out["budgeted_s"] <= out["full_s"] * TOLERANCE

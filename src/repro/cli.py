@@ -44,6 +44,26 @@ from repro.obs import (
 __all__ = ["main"]
 
 
+def _parse_bytes(text: str) -> int:
+    """Parse a byte size with an optional k/m/g suffix (``"64k"``)."""
+    raw = text.strip().lower()
+    multiplier = 1
+    for suffix, scale in (("k", 1 << 10), ("m", 1 << 20), ("g", 1 << 30)):
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            multiplier = scale
+            break
+    try:
+        value = int(float(raw) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid byte size {text!r}; use e.g. 65536, 64k, 16m, 1g"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("byte size must be >= 1")
+    return value
+
+
 def _add_dbscan_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eps", type=float, required=True, help="neighborhood radius")
     parser.add_argument("--min-pts", type=int, required=True, help="core threshold")
@@ -89,7 +109,12 @@ def _fault_policy_from_args(args: argparse.Namespace) -> FaultPolicy | None:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    points = load_points(args.points)
+    if args.memmap:
+        from repro.data.streaming import open_point_source
+
+        points = open_point_source(args.points)
+    else:
+        points = load_points(args.points)
     # Tracing is always on for the CLI (the overhead is negligible next
     # to process startup) so the fault ledger can show wall-clock
     # respawn times even when no --trace file was requested.
@@ -112,6 +137,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             engine=engine,
             merge_mode=args.merge,
             graph_layout=args.graph_layout,
+            broadcast_budget=args.broadcast_budget,
         )
         result = model.fit(points)
     finally:
@@ -140,6 +166,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             for channel, nbytes in sorted(result.broadcast_bytes.items())
         )
         print(f"  broadcast ({args.broadcast}): {shipped}")
+    if result.broadcast_residency is not None:
+        driver = result.broadcast_residency["driver"]
+        workers = result.broadcast_residency["workers"]
+        peak = max(
+            [w["peak_resident_bytes"] for w in workers]
+            + [driver["peak_resident_bytes"]]
+        )
+        evictions = driver["shard_evictions"] + sum(
+            w["shard_evictions"] for w in workers
+        )
+        print(
+            f"  residency: shards={driver['num_shards']} "
+            f"budget={driver['budget_bytes']}B peak={peak}B "
+            f"evictions={evictions}"
+        )
     if result.fault_events:
         events = " ".join(
             f"{kind}={count}" for kind, count in sorted(result.fault_events.items())
@@ -260,6 +301,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="broadcast channel: pickle blobs per worker, one zero-copy "
         "shared-memory segment, or auto (shm whenever the value carries a "
         "columnar dictionary; default)",
+    )
+    engine_group.add_argument(
+        "--broadcast-budget",
+        type=_parse_bytes,
+        default=None,
+        metavar="BYTES",
+        help="shard the broadcast dictionary and cap each worker's resident "
+        "leaf bytes at this budget (suffixes k/m/g; labels stay bit-identical "
+        "to a full broadcast)",
+    )
+    engine_group.add_argument(
+        "--memmap",
+        action="store_true",
+        help="ingest the point file as a memory-mapped source: partitions "
+        "materialize per task instead of loading the data set up front",
     )
     engine_group.add_argument(
         "--merge",

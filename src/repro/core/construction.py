@@ -39,6 +39,7 @@ from repro.core.defragmentation import (
 from repro.core.dictionary import CellDictionary, FlatCellDictionary
 from repro.core.partitioning import Partition
 from repro.core.region_query import RegionQueryEngine
+from repro.core.sharding import PartialFlatDictionary
 
 __all__ = ["QueryContext", "SubgraphResult", "build_cell_subgraph"]
 
@@ -59,7 +60,7 @@ class QueryContext:
     fallback for direct/driver-side use.
     """
 
-    dictionary: CellDictionary | FlatCellDictionary
+    dictionary: CellDictionary | FlatCellDictionary | PartialFlatDictionary
     strategy: str = "auto"
     defragment_capacity: int | None = None
     _engine: RegionQueryEngine | None = field(default=None, repr=False, compare=False)
@@ -77,7 +78,13 @@ class QueryContext:
     def engine(self) -> RegionQueryEngine:
         """The (lazily built) region-query engine."""
         if self._engine is None:
-            if self.defragment_capacity is not None:
+            if isinstance(self.dictionary, PartialFlatDictionary):
+                # Sharded broadcast: the dictionary *is* the defragmented
+                # layout (one shard per sub-dictionary), so wrapping it
+                # again would be redundant — residency accounting lives
+                # on the partial dictionary itself.
+                self._engine = RegionQueryEngine(self.dictionary, strategy=self.strategy)
+            elif self.defragment_capacity is not None:
                 self._defrag = defragment(
                     self.dictionary, capacity=self.defragment_capacity
                 )

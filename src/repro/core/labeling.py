@@ -117,7 +117,9 @@ def build_labeling_context(
             idx = index_map[cell_id]
             if idx not in needed_sources:
                 continue
-            core_points = partition.points[start:stop][mask[start:stop]]
+            # gather_rows reads just these rows from an out-of-core
+            # partition instead of materializing the whole point block.
+            core_points = partition.gather_rows(start, stop, mask[start:stop])
             predecessor_core_points[idx] = core_points
     return LabelingContext(
         eps=eps,
@@ -147,7 +149,10 @@ def label_partition(
         preds = context.predecessors.get(context.index_map[cell_id])
         if not preds:
             continue  # Non-core cell with no core predecessor: noise.
-        pts = partition.points[start:stop]
+        # Only non-core cells with core predecessors ever need their
+        # points here; gather_rows keeps an out-of-core partition from
+        # materializing wholesale just to label its (mostly core) cells.
+        pts = partition.gather_rows(start, stop)
         assigned = np.zeros(pts.shape[0], dtype=bool)
         for pred in preds:
             if assigned.all():

@@ -24,9 +24,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cells import CellGeometry, CellId
-from repro.spatial.grid import group_points_by_cell
+from repro.data.streaming import PointSource
+from repro.spatial.grid import cell_ids_for_points, group_points_by_cell
 
-__all__ = ["Partition", "pseudo_random_partition", "true_random_partition"]
+__all__ = [
+    "Partition",
+    "LazyPartition",
+    "pseudo_random_partition",
+    "true_random_partition",
+]
 
 
 @dataclass
@@ -73,9 +79,109 @@ class Partition:
         start, stop = self.cell_slices[cell_id]
         return self.global_indices[start:stop]
 
+    def gather_rows(self, start: int, stop: int, mask: np.ndarray | None = None) -> np.ndarray:
+        """The points of local rows ``start:stop`` (optionally masked).
+
+        On a :class:`LazyPartition` this reads just those rows from the
+        backing source instead of materializing the whole partition —
+        the driver-side access path of Phase III-2.
+        """
+        block = self.points[start:stop]
+        return block if mask is None else block[mask]
+
+    def release(self) -> None:
+        """Drop any materialized point block (no-op for eager layouts)."""
+
+
+class LazyPartition(Partition):
+    """A partition whose point block materializes on demand.
+
+    Pickling ships only the partition's *indices* plus the source
+    descriptor, so a worker task pays for exactly its own rows —
+    the out-of-core half of ROADMAP item 1.  The block is cached after
+    first access (a Phase II task touches every cell of its partition);
+    :meth:`release` drops the cache between phases.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        global_indices: np.ndarray,
+        cell_slices: dict[CellId, tuple[int, int]],
+        source: PointSource,
+    ) -> None:
+        self.pid = pid
+        self.global_indices = global_indices
+        self.cell_slices = cell_slices
+        self.source = source
+        self._points: np.ndarray | None = None
+
+    @property
+    def points(self) -> np.ndarray:  # type: ignore[override]
+        """The ``(m, d)`` point block, materialized from the source."""
+        if self._points is None:
+            self._points = self.source.take(self.global_indices)
+        return self._points
+
+    @property
+    def num_points(self) -> int:
+        """Number of points (known without materializing)."""
+        return int(self.global_indices.shape[0])
+
+    def gather_rows(self, start: int, stop: int, mask: np.ndarray | None = None) -> np.ndarray:
+        if self._points is not None:
+            block = self._points[start:stop]
+            return block if mask is None else block[mask]
+        indices = self.global_indices[start:stop]
+        if mask is not None:
+            indices = indices[mask]
+        return self.source.take(indices)
+
+    def release(self) -> None:
+        self._points = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_points"] = None  # never ship a materialized block
+        return state
+
+
+def _group_source_by_cell(
+    source: PointSource, side: float
+) -> dict[CellId, np.ndarray]:
+    """Streaming twin of :func:`group_points_by_cell`.
+
+    Buckets a :class:`PointSource` chunk by chunk while reproducing the
+    eager grouping *exactly*: cells come out in lexicographic id order
+    (chunk groups are merged through a final key sort) and each cell's
+    indices ascend (chunks arrive in order; within a chunk the stable
+    lexsort keeps equal keys in row order).  Both properties feed the
+    partition-key RNG, so eager and streamed runs draw identical keys.
+    """
+    buckets: dict[CellId, list[np.ndarray]] = {}
+    for chunk_start, chunk in source.iter_chunks():
+        ids = cell_ids_for_points(chunk, side)
+        order = np.lexsort(ids.T[::-1])
+        sorted_ids = ids[order]
+        change = np.any(sorted_ids[1:] != sorted_ids[:-1], axis=1)
+        boundaries = np.concatenate(
+            ([0], np.nonzero(change)[0] + 1, [ids.shape[0]])
+        )
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            key = tuple(int(v) for v in sorted_ids[start])
+            buckets.setdefault(key, []).append(order[start:stop] + chunk_start)
+    return {
+        key: (
+            np.concatenate(buckets[key])
+            if len(buckets[key]) > 1
+            else buckets[key][0]
+        )
+        for key in sorted(buckets)
+    }
+
 
 def pseudo_random_partition(
-    points: np.ndarray,
+    points: np.ndarray | PointSource,
     geometry: CellGeometry,
     num_partitions: int,
     *,
@@ -104,16 +210,26 @@ def pseudo_random_partition(
         Exactly ``num_partitions`` partitions whose points are pairwise
         disjoint and jointly cover the input.
     """
-    pts = np.asarray(points, dtype=np.float64)
-    if pts.ndim != 2:
-        raise ValueError("points must be (n, d)")
-    if pts.shape[1] != geometry.dim:
-        raise ValueError(
-            f"points have dim {pts.shape[1]} but geometry has dim {geometry.dim}"
-        )
     if num_partitions < 1:
         raise ValueError("num_partitions must be >= 1")
-    groups = group_points_by_cell(pts, geometry.side)
+    source: PointSource | None = None
+    if isinstance(points, PointSource):
+        source = points
+        if source.dim != geometry.dim:
+            raise ValueError(
+                f"points have dim {source.dim} but geometry has dim {geometry.dim}"
+            )
+        pts = None
+        groups = _group_source_by_cell(source, geometry.side)
+    else:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        if pts.shape[1] != geometry.dim:
+            raise ValueError(
+                f"points have dim {pts.shape[1]} but geometry has dim {geometry.dim}"
+            )
+        groups = group_points_by_cell(pts, geometry.side)
     cell_ids = list(groups.keys())
     rng = np.random.default_rng(seed)
     if method == "random_key":
@@ -141,14 +257,24 @@ def pseudo_random_partition(
         for cell_id, chunk in zip(cells, index_chunks):
             slices[cell_id] = (cursor, cursor + chunk.shape[0])
             cursor += chunk.shape[0]
-        partitions.append(
-            Partition(
-                pid=pid,
-                points=pts[indices],
-                global_indices=indices,
-                cell_slices=slices,
+        if source is not None:
+            partitions.append(
+                LazyPartition(
+                    pid=pid,
+                    global_indices=indices,
+                    cell_slices=slices,
+                    source=source,
+                )
             )
-        )
+        else:
+            partitions.append(
+                Partition(
+                    pid=pid,
+                    points=pts[indices],
+                    global_indices=indices,
+                    cell_slices=slices,
+                )
+            )
     return partitions
 
 

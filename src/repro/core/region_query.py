@@ -29,6 +29,7 @@ from repro.core.defragmentation import (
     FlatDefragmentedDictionary,
 )
 from repro.core.dictionary import CellDictionary, FlatCellDictionary
+from repro.core.sharding import PartialFlatDictionary
 from repro.spatial.cell_index import NeighborCellFinder
 from repro.spatial.distance import pairwise_distances
 
@@ -71,9 +72,10 @@ class RegionQueryEngine:
     Parameters
     ----------
     dictionary:
-        A :class:`CellDictionary` or :class:`FlatCellDictionary`, or
-        their defragmented wrappers (enables sub-dictionary-skipping
-        accounting; results are identical).
+        A :class:`CellDictionary` or :class:`FlatCellDictionary`, their
+        defragmented wrappers (enables sub-dictionary-skipping
+        accounting), or a :class:`PartialFlatDictionary` (budgeted shard
+        residency); results are identical in every case.
     strategy:
         Candidate-cell search: ``"enumerate"`` (integer offsets),
         ``"kdtree"`` (tree over non-empty cell centers), or ``"auto"``
@@ -87,6 +89,7 @@ class RegionQueryEngine:
             | FlatCellDictionary
             | DefragmentedDictionary
             | FlatDefragmentedDictionary
+            | PartialFlatDictionary
         ),
         *,
         strategy: str = "auto",
@@ -97,7 +100,16 @@ class RegionQueryEngine:
         else:
             self._defrag = None
             inner = dictionary
-        self._flat = inner if isinstance(inner, FlatCellDictionary) else None
+        # A partial dictionary exposes the flat columnar query surface
+        # (cell_counts + gather_subcells) over its bounded shard cache,
+        # so it rides the flat hot path unchanged; its per-batch
+        # record_rows_consulted doubles as the residency oracle.
+        self._flat = (
+            inner
+            if isinstance(inner, (FlatCellDictionary, PartialFlatDictionary))
+            else None
+        )
+        self._partial = inner if isinstance(inner, PartialFlatDictionary) else None
         self._dict = inner
         self.geometry: CellGeometry = inner.geometry
         # The finder consumes the lexicographically sorted id array, so
@@ -146,6 +158,8 @@ class RegionQueryEngine:
                 self._defrag.record_rows_consulted(rows)
             else:
                 self._defrag.record_cells_consulted(candidates)
+        elif self._partial is not None:
+            self._partial.record_rows_consulted(rows)
         n = pts.shape[0]
         m = len(candidates)
         counts = np.zeros(n, dtype=np.float64)

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.cell_graph import CellGraph, FlatCellGraph
 from repro.core.cells import CellGeometry
 from repro.core.construction import QueryContext, SubgraphResult, build_cell_subgraph
+from repro.core.defragmentation import defragment
 from repro.core.dictionary import (
     CellDictionary,
     DictionarySizeModel,
@@ -42,6 +43,8 @@ from repro.core.merging import (
     progressive_merge,
 )
 from repro.core.partitioning import Partition, pseudo_random_partition
+from repro.core.sharding import PartialFlatDictionary, ShardedFlatDictionary
+from repro.data.streaming import PointSource, as_point_source
 from repro.engine.counters import Counters
 from repro.engine.executors import Engine
 from repro.engine.faults import FaultPolicy
@@ -94,18 +97,43 @@ def _dictionary_from_partition(partition: Partition, geometry: CellGeometry) -> 
 
 def _dictionary_worker(partition: Partition, broadcast):
     geometry, layout = broadcast
-    if layout == "flat":
-        # One vectorized pass over the whole partition — no per-cell
-        # python loop (Algorithm 2's Map step over arrays).
-        return FlatCellDictionary.from_points(partition.points, geometry)
-    return _dictionary_from_partition(partition, geometry)
+    try:
+        if layout == "flat":
+            # One vectorized pass over the whole partition — no per-cell
+            # python loop (Algorithm 2's Map step over arrays).
+            return FlatCellDictionary.from_points(partition.points, geometry)
+        return _dictionary_from_partition(partition, geometry)
+    finally:
+        partition.release()
 
 
-def _phase2_worker(partition: Partition, broadcast) -> SubgraphResult:
+def _phase2_worker(task, broadcast) -> SubgraphResult:
+    """One Phase II task: ``(partition, shard_hint)``.
+
+    ``shard_hint`` is the driver's Lemma 5.10 reachable-shard set for the
+    partition (``None`` when the broadcast is not sharded).  Restricting
+    the partial dictionary before querying makes any missed shard a hard
+    error instead of a silent budget violation — the skip test is proved
+    correct on every task, not just in tests.
+    """
+    partition, shard_hint = task
     context, min_pts, graph_layout = broadcast
-    return build_cell_subgraph(
-        partition, context, min_pts, graph_layout=graph_layout
+    dictionary = context.dictionary
+    restricted = shard_hint is not None and isinstance(
+        dictionary, PartialFlatDictionary
     )
+    if restricted:
+        dictionary.restrict(shard_hint)
+    try:
+        return build_cell_subgraph(
+            partition, context, min_pts, graph_layout=graph_layout
+        )
+    finally:
+        if restricted:
+            dictionary.restrict(None)
+        # Out-of-core partitions drop their materialized block as soon
+        # as the task is done — per-task residency, not per-run.
+        partition.release()
 
 
 def _phase2_warmup(broadcast) -> None:
@@ -159,6 +187,11 @@ class RPDBSCANResult:
     num_points: int = 0
     global_graph: CellGraph | FlatCellGraph | None = None
     subdict_stats: tuple[int, float] | None = None
+    #: Shard-residency ledger of a budgeted run (``--broadcast-budget``):
+    #: the driver-side sharded dictionary's stats plus, in process mode,
+    #: the per-worker ledgers gathered after Phase II.  ``None`` for
+    #: full-broadcast runs.
+    broadcast_residency: dict | None = None
 
     @property
     def noise_count(self) -> int:
@@ -266,6 +299,16 @@ class RPDBSCAN:
         When set, the broadcast dictionary is defragmented into
         sub-dictionaries of at most this many entries (Sec 4.2.2) and
         sub-dictionary-skipping statistics are collected.
+    broadcast_budget:
+        When set (bytes), the broadcast dictionary is sharded into one
+        leaf segment per sub-dictionary and each worker keeps at most
+        this many leaf bytes resident (LRU) — the out-of-core partial
+        broadcast.  The driver ships each Phase II task only the shards
+        its partition can reach within ``eps`` (Lemma 5.10); labels are
+        bit-identical to a full-broadcast run.  Requires the ``"flat"``
+        dictionary layout.  When ``defragment_capacity`` is unset, a
+        capacity is derived from the budget so several shards fit
+        under it at once.
     dictionary_layout:
         ``"flat"`` (default) builds the columnar
         :class:`~repro.core.dictionary.FlatCellDictionary` — vectorized
@@ -311,6 +354,7 @@ class RPDBSCAN:
         candidate_strategy: str = "auto",
         fault_policy: FaultPolicy | None = None,
         defragment_capacity: int | None = None,
+        broadcast_budget: int | None = None,
         dictionary_layout: str = "flat",
         graph_layout: str = "flat",
         merge_mode: str = "auto",
@@ -334,6 +378,14 @@ class RPDBSCAN:
             raise ValueError(
                 f"merge_mode must be one of {MERGE_MODES}, got {merge_mode!r}"
             )
+        if broadcast_budget is not None:
+            if broadcast_budget < 1:
+                raise ValueError("broadcast_budget must be >= 1 byte")
+            if dictionary_layout != "flat":
+                raise ValueError(
+                    "broadcast_budget requires the 'flat' dictionary layout "
+                    "(sharding is columnar)"
+                )
         self.eps = float(eps)
         self.min_pts = int(min_pts)
         self.num_partitions = int(num_partitions)
@@ -346,12 +398,21 @@ class RPDBSCAN:
         if fault_policy is not None:
             self.engine.fault_policy = fault_policy
         self.defragment_capacity = defragment_capacity
+        self.broadcast_budget = broadcast_budget
         self.dictionary_layout = dictionary_layout
         self.graph_layout = graph_layout
         self.merge_mode = merge_mode
 
-    def fit(self, points: np.ndarray) -> RPDBSCANResult:
+    def fit(self, points: np.ndarray | PointSource) -> RPDBSCANResult:
         """Cluster ``points`` and return the full result object.
+
+        ``points`` may be an eager ``(n, d)`` array or a
+        :class:`~repro.data.streaming.PointSource` (a memory-mapped
+        ``.npy``, a chunked ``.npz``, an ``np.memmap`` — anything
+        :func:`~repro.data.streaming.open_point_source` produces).  With
+        a source, partitions ship as index lists and materialize their
+        point blocks per task — the driver never holds the whole data
+        set.  Labels are bit-identical across the two ingestion paths.
 
         When the engine carries a :class:`~repro.obs.spans.Tracer`, the
         whole call is recorded as a ``fit`` span containing one span per
@@ -360,19 +421,35 @@ class RPDBSCAN:
         phases (I-2, II, III-2) as ``phase`` spans opened by the engine
         with nested task/attempt spans.
         """
-        pts = np.asarray(points, dtype=np.float64)
-        if pts.ndim != 2:
-            raise ValueError(
-                f"points must be a 2-d array of shape (n, d), got shape "
-                f"{pts.shape}"
-            )
-        if pts.size and not np.isfinite(pts).all():
-            bad = int(np.count_nonzero(~np.isfinite(pts).all(axis=1)))
-            raise ValueError(
-                f"points contain NaN/inf coordinates in {bad} row(s); the "
-                "cell grid requires finite coordinates"
-            )
-        n, dim = pts.shape
+        if isinstance(points, np.memmap):
+            points = as_point_source(points)
+        if isinstance(points, PointSource):
+            pts: np.ndarray | PointSource = points
+            n, dim = points.num_points, points.dim
+            # Streaming finiteness validation — same contract as the
+            # eager path, one chunk resident at a time.
+            bad = 0
+            for _, chunk in points.iter_chunks():
+                bad += int(np.count_nonzero(~np.isfinite(chunk).all(axis=1)))
+            if bad:
+                raise ValueError(
+                    f"points contain NaN/inf coordinates in {bad} row(s); "
+                    "the cell grid requires finite coordinates"
+                )
+        else:
+            pts = np.asarray(points, dtype=np.float64)
+            if pts.ndim != 2:
+                raise ValueError(
+                    f"points must be a 2-d array of shape (n, d), got shape "
+                    f"{pts.shape}"
+                )
+            if pts.size and not np.isfinite(pts).all():
+                bad = int(np.count_nonzero(~np.isfinite(pts).all(axis=1)))
+                raise ValueError(
+                    f"points contain NaN/inf coordinates in {bad} row(s); the "
+                    "cell grid requires finite coordinates"
+                )
+            n, dim = pts.shape
         # Counters accumulate for the engine's whole lifetime (it may be
         # shared across fits); snapshot here and report only this run's
         # delta so repeated fit() calls yield independent timings.
@@ -387,7 +464,7 @@ class RPDBSCAN:
     def _fit_traced(self, pts, n, geometry, engine_counters, fit_mark):
         counters = engine_counters
         tracer = self.engine.tracer
-        dim = pts.shape[1]
+        dim = geometry.dim
         if n == 0:
             return RPDBSCANResult(
                 labels=np.empty(0, dtype=np.int64),
@@ -429,25 +506,75 @@ class RPDBSCAN:
                 dictionary = FlatCellDictionary.merge(partials)
             else:
                 dictionary = CellDictionary.merge(partials)
-            context = QueryContext(
-                dictionary,
-                strategy=self.candidate_strategy,
-                defragment_capacity=self.defragment_capacity,
-            )
+            sharded: ShardedFlatDictionary | None = None
+            if self.broadcast_budget is not None:
+                capacity = self.defragment_capacity
+                if capacity is None:
+                    # Derive a capacity so ~4 leaf shards fit under the
+                    # budget at once: enough residency for the LRU to
+                    # absorb a query's cross-shard candidates without
+                    # thrashing, small enough that the budget binds.
+                    entry_bytes = dim * 8 + 8  # center row + count
+                    capacity = max(1, self.broadcast_budget // (4 * entry_bytes))
+                defrag = defragment(dictionary, capacity=capacity)
+                sharded = ShardedFlatDictionary.from_defragmented(
+                    defrag, budget_bytes=self.broadcast_budget
+                )
+                context = QueryContext(sharded, strategy=self.candidate_strategy)
+            else:
+                context = QueryContext(
+                    dictionary,
+                    strategy=self.candidate_strategy,
+                    defragment_capacity=self.defragment_capacity,
+                )
 
         # ---------------- Phase II: cell graph construction ------------
         # The warm-up hook builds the region-query engine during worker
         # initialization (or once on the driver in serial mode), under
         # the engine.setup bucket: every mode pays index construction
         # outside the task timings, keeping Fig 12/13 comparable.
+        # With a sharded broadcast, each task also carries the driver's
+        # Lemma 5.10 reachable-shard hint: the worker may only attach
+        # shards within eps of the partition's cells.
+        shard_hints: list[tuple[int, ...] | None] = [None] * len(partitions)
+        if sharded is not None:
+            for i, partition in enumerate(partitions):
+                if not partition.cell_slices:
+                    shard_hints[i] = ()
+                    continue
+                owned_ids = np.array(list(partition.cell_slices), dtype=np.int64)
+                rows = sharded.find_rows(owned_ids)
+                shard_hints[i] = tuple(
+                    int(s) for s in sharded.reachable_shards(rows)
+                )
         subgraph_results: list[SubgraphResult] = self.engine.map_tasks(
             _phase2_worker,
-            partitions,
+            list(zip(partitions, shard_hints)),
             broadcast=(context, self.min_pts, self.graph_layout),
             phase=PHASE_CELL_GRAPH,
-            item_counter=lambda p: p.num_points,
+            item_counter=lambda t: t[0].num_points,
             warmup=_phase2_warmup,
         )
+        broadcast_residency = None
+        if sharded is not None:
+            # Gather the residency ledgers while the pool (if any) still
+            # holds the sharded epoch: driver-side stats plus one entry
+            # per worker in process mode.
+            broadcast_residency = {
+                "driver": sharded.residency_stats(),
+                "workers": [
+                    {"pid": pid, **stats}
+                    for pid, stats in self.engine.collect_broadcast_stats()
+                ],
+            }
+            peak = max(
+                [w["peak_resident_bytes"] for w in broadcast_residency["workers"]]
+                + [broadcast_residency["driver"]["peak_resident_bytes"]]
+            )
+            registry = counters.registry
+            registry.gauge("broadcast.shards").set(sharded.num_shards)
+            registry.gauge("broadcast.budget_bytes").set(self.broadcast_budget)
+            registry.gauge("broadcast.peak_resident_bytes").set(peak)
 
         # ---------------- Phase III-1: progressive graph merging -------
         # progressive_merge owns the Phase III-1 accounting: driver-mode
@@ -462,9 +589,15 @@ class RPDBSCAN:
             f"{PHASE_MERGE} (labeling context)", "driver", phase=PHASE_MERGE
         ):
             core_masks = {r.pid: r.core_mask for r in subgraph_results}
+            # In a budgeted run the index map must reference the sharded
+            # dictionary: its lookups touch only the root arrays, so the
+            # Phase III-2 broadcast hoists root + shards (budget-bounded
+            # residency) instead of dragging the full flat dictionary
+            # into a monolithic segment.
+            index_source = sharded if sharded is not None else dictionary
             labeling_context = build_labeling_context(
                 global_graph, partitions, core_masks, self.eps,
-                dictionary.index_map,
+                index_source.index_map,
             )
 
         # ---------------- Phase III-2: point labeling ------------------
@@ -485,10 +618,21 @@ class RPDBSCAN:
             labels[global_indices] = chunk_labels
             core_mask[partition.global_indices] = subgraph.core_mask
 
+        # Out-of-core partitions may still hold their Phase III-2 blocks;
+        # the run is over, so drop them before reporting.
+        for partition in partitions:
+            partition.release()
+
         subdict_stats = None
-        defrag = context.defragmented if self.defragment_capacity is not None else None
-        if defrag is not None:
-            subdict_stats = (defrag.num_sub_dicts, defrag.average_consulted())
+        if sharded is not None:
+            subdict_stats = (sharded.num_shards, sharded.average_consulted())
+        elif self.defragment_capacity is not None:
+            defrag_dict = context.defragmented
+            if defrag_dict is not None:
+                subdict_stats = (
+                    defrag_dict.num_sub_dicts,
+                    defrag_dict.average_consulted(),
+                )
         return RPDBSCANResult(
             labels=labels,
             core_mask=core_mask,
@@ -500,8 +644,9 @@ class RPDBSCAN:
             num_points=n,
             global_graph=global_graph,
             subdict_stats=subdict_stats,
+            broadcast_residency=broadcast_residency,
         )
 
-    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+    def fit_predict(self, points: np.ndarray | PointSource) -> np.ndarray:
         """Cluster ``points`` and return only the label array."""
         return self.fit(points).labels

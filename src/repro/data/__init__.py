@@ -21,6 +21,15 @@ from repro.data.generators import (
     moons,
 )
 from repro.data.io import load_points, save_points
+from repro.data.streaming import (
+    ArraySource,
+    ChunkedNpzSource,
+    MemmapSource,
+    PointSource,
+    as_point_source,
+    open_point_source,
+    save_chunked_npz,
+)
 
 __all__ = [
     "moons",
@@ -34,4 +43,11 @@ __all__ = [
     "teraclicklog_like",
     "load_points",
     "save_points",
+    "PointSource",
+    "ArraySource",
+    "MemmapSource",
+    "ChunkedNpzSource",
+    "as_point_source",
+    "open_point_source",
+    "save_chunked_npz",
 ]

@@ -36,10 +36,15 @@ def load_points(path: str | Path) -> np.ndarray:
     if not path.exists():
         raise FileNotFoundError(path)
     if path.suffix == ".npy":
-        pts = np.load(path)
+        pts = np.asarray(np.load(path), dtype=np.float64)
+        # A 1-d array is n scalar observations — one column, not one row.
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
     else:
-        pts = np.loadtxt(path, delimiter=",", dtype=np.float64)
-    pts = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+        # ndmin=2 preserves orientation: a one-column file stays (n, 1)
+        # and a one-row file stays (1, d).  (np.atleast_2d would turn a
+        # 1-d read of a column file into a single n-dimensional point.)
+        pts = np.loadtxt(path, delimiter=",", dtype=np.float64, ndmin=2)
     if pts.ndim != 2:
         raise ValueError(f"{path} does not contain a 2-d point array")
     return pts

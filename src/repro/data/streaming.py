@@ -1,0 +1,335 @@
+"""Out-of-core point ingestion: chunked readers over on-disk data sets.
+
+``RPDBSCAN.fit`` traditionally receives an ``(n, d)`` array that stays
+resident for the whole run.  At the paper's scale (2.8B-4.4B points)
+that is impossible, so this module abstracts the data set behind a
+:class:`PointSource`: a cheap, picklable descriptor that can
+
+* stream the points in bounded chunks (:meth:`PointSource.iter_chunks`,
+  used by the driver to bucket points into cells without holding them),
+* materialize an arbitrary row subset (:meth:`PointSource.take`, used by
+  workers to build their partition's point block per task).
+
+Three sources are provided: :class:`ArraySource` wraps an in-memory
+array (the compatibility path), :class:`MemmapSource` reopens a ``.npy``
+file with ``np.memmap`` lazily in every process, and
+:class:`ChunkedNpzSource` reads the chunked ``.npz`` container written
+by :func:`save_chunked_npz`.  All three yield bit-identical float64
+rows, so clustering results do not depend on the ingestion path.
+"""
+
+from __future__ import annotations
+
+import abc
+import zipfile
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "PointSource",
+    "ArraySource",
+    "MemmapSource",
+    "ChunkedNpzSource",
+    "as_point_source",
+    "open_point_source",
+    "save_chunked_npz",
+]
+
+#: Rows per streamed chunk — 2^18 rows of a 3-d float64 set is ~6 MiB.
+DEFAULT_CHUNK_ROWS = 1 << 18
+
+
+class PointSource(abc.ABC):
+    """A data set of ``(n, d)`` float64 points addressable by row.
+
+    Implementations must be cheap to pickle (ship a *descriptor*, never
+    the data) and must return identical float64 values through both
+    access paths, because partitioning consumes chunks on the driver
+    while workers re-materialize the same rows through :meth:`take`.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_points(self) -> int:
+        """Number of rows ``n``."""
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> int:
+        """Number of columns ``d``."""
+
+    @abc.abstractmethod
+    def iter_chunks(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(start_row, chunk)`` pairs covering all rows in order.
+
+        ``chunk`` is a float64 ``(m, d)`` array with ``m >= 1`` (empty
+        sources yield nothing).
+        """
+
+    @abc.abstractmethod
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Materialize the given rows, in the given order, as float64.
+
+        The result is a fresh writable array (never a view into shared
+        state) so callers may keep it across chunk boundaries.
+        """
+
+    def __len__(self) -> int:
+        return self.num_points
+
+    def materialize(self) -> np.ndarray:
+        """The whole data set as one in-memory ``(n, d)`` array."""
+        out = np.empty((self.num_points, self.dim), dtype=np.float64)
+        for start, chunk in self.iter_chunks():
+            out[start : start + chunk.shape[0]] = chunk
+        return out
+
+
+def _check_indices(indices: np.ndarray) -> np.ndarray:
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.ndim != 1:
+        raise ValueError("indices must be a 1-d integer array")
+    return idx
+
+
+class ArraySource(PointSource):
+    """A :class:`PointSource` over an in-memory ``(n, d)`` array.
+
+    The compatibility wrapper ``fit`` uses for plain arrays.  Do not
+    wrap an ``np.memmap`` in it when the source must cross a process
+    boundary — a pickled memmap materializes every byte into the
+    stream; use :class:`MemmapSource` instead (see
+    :func:`as_point_source`).
+    """
+
+    def __init__(self, points: np.ndarray, *, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        self._pts = pts
+        self._chunk_rows = int(chunk_rows)
+
+    @property
+    def num_points(self) -> int:
+        return self._pts.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._pts.shape[1]
+
+    def iter_chunks(self) -> Iterator[tuple[int, np.ndarray]]:
+        for start in range(0, self._pts.shape[0], self._chunk_rows):
+            yield start, self._pts[start : start + self._chunk_rows]
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        return self._pts[_check_indices(indices)]
+
+
+class MemmapSource(PointSource):
+    """A :class:`PointSource` over a memory-mapped ``.npy`` file.
+
+    Only the ``(path, dtype, shape, offset)`` descriptor is pickled; the
+    map itself is opened lazily — once per process — so a worker pays
+    only for the pages its partitions actually touch.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        dtype: np.dtype | str,
+        shape: tuple[int, int],
+        offset: int = 0,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> None:
+        if len(shape) != 2:
+            raise ValueError("shape must be (n, d)")
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        self._path = str(path)
+        self._dtype = np.dtype(dtype)
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._offset = int(offset)
+        self._chunk_rows = int(chunk_rows)
+        self._mm: np.memmap | None = None
+
+    @classmethod
+    def from_npy(cls, path: str | Path, *, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> "MemmapSource":
+        """Open an existing ``.npy`` file as a memmapped source."""
+        mm = np.load(path, mmap_mode="r")
+        if mm.ndim == 1:
+            # Mirror load_points: a 1-d file is one column of scalars.
+            return cls(
+                path,
+                dtype=mm.dtype,
+                shape=(mm.shape[0], 1),
+                offset=mm.offset,
+                chunk_rows=chunk_rows,
+            )
+        if mm.ndim != 2:
+            raise ValueError(f"{path} does not contain a 2-d point array")
+        return cls(
+            path, dtype=mm.dtype, shape=mm.shape, offset=mm.offset, chunk_rows=chunk_rows
+        )
+
+    @classmethod
+    def from_memmap(cls, mm: np.memmap, *, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> "MemmapSource":
+        """Wrap a live ``np.memmap`` by its on-disk coordinates."""
+        if mm.filename is None:
+            raise ValueError("memmap has no backing file")
+        shape = mm.shape if mm.ndim == 2 else (mm.shape[0], 1)
+        if mm.ndim not in (1, 2):
+            raise ValueError("memmap must be 1-d or 2-d")
+        return cls(
+            mm.filename, dtype=mm.dtype, shape=shape, offset=mm.offset, chunk_rows=chunk_rows
+        )
+
+    @property
+    def num_points(self) -> int:
+        return self._shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._shape[1]
+
+    @property
+    def _map(self) -> np.memmap:
+        if self._mm is None:
+            self._mm = np.memmap(
+                self._path,
+                dtype=self._dtype,
+                mode="r",
+                shape=self._shape,
+                offset=self._offset,
+            )
+        return self._mm
+
+    def iter_chunks(self) -> Iterator[tuple[int, np.ndarray]]:
+        mm = self._map
+        for start in range(0, self._shape[0], self._chunk_rows):
+            yield start, np.asarray(mm[start : start + self._chunk_rows], dtype=np.float64)
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        # Fancy indexing a memmap materializes exactly the selected rows.
+        return np.asarray(self._map[_check_indices(indices)], dtype=np.float64)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_mm"] = None  # reopen lazily in the receiving process
+        return state
+
+
+class ChunkedNpzSource(PointSource):
+    """A :class:`PointSource` over the chunked ``.npz`` container of
+    :func:`save_chunked_npz`.
+
+    The container holds ``chunk_000000, chunk_000001, ...`` members plus
+    ``offsets`` (their exclusive row prefix sums) and ``shape``; only
+    the members a :meth:`take` call needs are decompressed.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = str(path)
+        with np.load(self._path) as archive:
+            if "offsets" not in archive or "shape" not in archive:
+                raise ValueError(f"{path} is not a chunked point container")
+            self._offsets = np.asarray(archive["offsets"], dtype=np.int64)
+            n, d = (int(v) for v in archive["shape"])
+        self._shape = (n, d)
+
+    @property
+    def num_points(self) -> int:
+        return self._shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._shape[1]
+
+    @property
+    def num_chunks(self) -> int:
+        return self._offsets.shape[0] - 1
+
+    def iter_chunks(self) -> Iterator[tuple[int, np.ndarray]]:
+        with np.load(self._path) as archive:
+            for index in range(self.num_chunks):
+                chunk = np.asarray(archive[f"chunk_{index:06d}"], dtype=np.float64)
+                if chunk.shape[0]:
+                    yield int(self._offsets[index]), chunk
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        idx = _check_indices(indices)
+        out = np.empty((idx.shape[0], self.dim), dtype=np.float64)
+        if idx.shape[0] == 0:
+            return out
+        which = np.searchsorted(self._offsets, idx, side="right") - 1
+        with np.load(self._path) as archive:
+            for chunk_index in np.unique(which):
+                chunk = np.asarray(
+                    archive[f"chunk_{chunk_index:06d}"], dtype=np.float64
+                )
+                sel = which == chunk_index
+                out[sel] = chunk[idx[sel] - self._offsets[chunk_index]]
+        return out
+
+
+def save_chunked_npz(
+    path: str | Path, points: np.ndarray, *, chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> None:
+    """Write ``points`` as a chunked ``.npz`` container.
+
+    Uncompressed (``np.savez``) so :meth:`ChunkedNpzSource.take` pays
+    only the copy of the members it opens.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be (n, d)")
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    starts = list(range(0, pts.shape[0], chunk_rows)) or [0]
+    members = {
+        f"chunk_{i:06d}": pts[start : start + chunk_rows]
+        for i, start in enumerate(starts)
+    }
+    offsets = np.array(starts + [pts.shape[0]], dtype=np.int64)
+    np.savez(path, offsets=offsets, shape=np.array(pts.shape, dtype=np.int64), **members)
+
+
+def as_point_source(data: "np.ndarray | PointSource") -> PointSource:
+    """Coerce ``fit``'s accepted inputs to a :class:`PointSource`.
+
+    Arrays wrap in :class:`ArraySource`; a file-backed ``np.memmap``
+    becomes a :class:`MemmapSource` so pickling ships the descriptor,
+    not the bytes.
+    """
+    if isinstance(data, PointSource):
+        return data
+    if isinstance(data, np.memmap) and data.filename is not None:
+        return MemmapSource.from_memmap(data)
+    return ArraySource(np.asarray(data, dtype=np.float64))
+
+
+def open_point_source(path: str | Path, *, memmap: bool = True) -> PointSource:
+    """Open an on-disk point set as a :class:`PointSource`.
+
+    ``.npy`` maps the file (:class:`MemmapSource`) unless ``memmap`` is
+    false; ``.npz`` requires the chunked container layout; other
+    extensions fall back to an eager CSV read via
+    :func:`repro.data.io.load_points`.
+    """
+    from repro.data.io import load_points
+
+    path = Path(path)
+    if path.suffix == ".npz":
+        if not zipfile.is_zipfile(path):
+            raise ValueError(f"{path} is not an npz archive")
+        return ChunkedNpzSource(path)
+    if path.suffix == ".npy" and memmap:
+        return MemmapSource.from_npy(path)
+    return ArraySource(load_points(path))

@@ -109,9 +109,10 @@ _WORKER_BROADCAST: Any = None
 _WORKER_EPOCH: int = -1
 _WORKER_BARRIER: Any = None
 _WORKER_INSTALLS: int = 0
-#: The shared-memory attachment backing the current broadcast (shm
-#: channel only); kept so a later install can unmap the previous epoch.
-_WORKER_SHM: Any = None
+#: Shared-memory attachments backing the current broadcast (shm channel
+#: only): the flat segment and/or sharded attachments, each exposing
+#: ``close()``; kept so a later install can unmap the previous epoch.
+_WORKER_SHM: list[Any] = []
 
 
 def _init_worker(barrier: Any) -> None:
@@ -122,7 +123,7 @@ def _init_worker(barrier: Any) -> None:
     _WORKER_BROADCAST = None
     _WORKER_EPOCH = -1
     _WORKER_INSTALLS = 0
-    _WORKER_SHM = None
+    _WORKER_SHM = []
 
 
 def _install_broadcast(
@@ -132,10 +133,12 @@ def _install_broadcast(
 
     ``payload`` is ``(epoch, channel, blob, handle, warmup)``: the value
     arrives pre-pickled by the driver (``blob``), either self-contained
-    (``channel == "pickle"``) or with its flat-dictionary arrays hoisted
-    into the shared-memory segment named by ``handle`` (``channel ==
-    "shm"``), in which case the worker attaches the segment and rebuilds
-    the value around zero-copy read-only views.
+    (``channel == "pickle"``) or with its dictionaries hoisted into
+    shared memory (``channel == "shm"``), ``handle`` being the pair
+    ``(flat_segment_handle | None, sharded_dictionary_handles)``.  The
+    flat segment (if any) and every sharded root segment are attached
+    eagerly; leaf shard segments attach lazily through the partial
+    dictionary's LRU store, bounded by the broadcast budget.
 
     The trailing ``barrier.wait()`` keeps this worker busy until *every*
     worker has taken exactly one install task, which is what guarantees
@@ -147,22 +150,30 @@ def _install_broadcast(
     if channel == "shm":
         from repro.engine import shm as _shm
 
-        segment = _shm.attach_segment(handle)
-        value = _shm.import_broadcast(blob, handle, segment)
+        flat_handle, sharded_handles = handle
+        attachments: list[Any] = []
+        flat_shm = None
+        if flat_handle is not None:
+            flat_shm = _shm.attach_segment(flat_handle)
+            attachments.append(flat_shm)
+        value, sharded_attachments = _shm.import_broadcast_parts(
+            blob, flat_handle, flat_shm, sharded_handles
+        )
+        attachments.extend(sharded_attachments)
     else:
-        segment = None
+        attachments = []
         value = pickle.loads(blob)
     previous = _WORKER_SHM
     _WORKER_BROADCAST = value
-    _WORKER_SHM = segment
+    _WORKER_SHM = attachments
     _WORKER_EPOCH = epoch
     _WORKER_INSTALLS += 1
-    if previous is not None:
+    for stale in previous:
         # The prior epoch's views just became garbage; unmap them.  A
         # lingering reference would make close() raise — leave the unmap
         # to process exit in that case rather than fail the install.
         try:
-            previous.close()
+            stale.close()
         except Exception:
             pass
     warm_seconds = 0.0
@@ -172,6 +183,19 @@ def _install_broadcast(
         warm_seconds = time.perf_counter() - start
     _WORKER_BARRIER.wait(timeout=_BARRIER_TIMEOUT_S)
     return os.getpid(), _WORKER_INSTALLS, warm_seconds
+
+
+def _collect_residency(_token: int) -> tuple[int, dict]:
+    """Report this worker's shard-residency ledger, then rendezvous.
+
+    The barrier gives the fan-out the same every-worker-exactly-once
+    guarantee as :func:`_install_broadcast`.
+    """
+    from repro.core.sharding import live_residency_stats
+
+    stats = live_residency_stats()
+    _WORKER_BARRIER.wait(timeout=_BARRIER_TIMEOUT_S)
+    return os.getpid(), stats
 
 
 def _run_task(
@@ -339,6 +363,12 @@ class Engine:
         #: Live shared-memory segments this driver created (shm channel);
         #: every one is unlinked on teardown/close — crash paths included.
         self._segments: list[Any] = []
+        # Encoded-broadcast cache: a pool re-spawn re-ships the *same*
+        # value, so the encode (and the segments it created) can be
+        # reused instead of re-packed — the replacement workers simply
+        # re-attach the segments that already exist.
+        self._encoded_broadcast: Any = _NOTHING
+        self._encoded: tuple[str, bytes, Any] | None = None
         # Lifetime diagnostics.
         self.pools_created = 0
         self.broadcast_ships = 0
@@ -370,8 +400,14 @@ class Engine:
         self._closed = True
         self._teardown_pool()
 
-    def _teardown_pool(self) -> None:
-        """Release the pool (if any) and reset broadcast-cache state."""
+    def _teardown_pool(self, *, keep_segments: bool = False) -> None:
+        """Release the pool (if any) and reset broadcast-cache state.
+
+        ``keep_segments=True`` preserves the driver's live segments and
+        encoded-broadcast cache across a re-spawn: the replacement pool
+        re-attaches the existing segments instead of paying for a fresh
+        pack of the (unchanged) broadcast value.
+        """
         pool, self._pool = self._pool, None
         self._barrier = None
         self._worker_pids = None
@@ -382,10 +418,13 @@ class Engine:
                 pool.join()
             except Exception:
                 pass
-        self._destroy_segments()
+        if not keep_segments:
+            self._destroy_segments()
 
     def _destroy_segments(self) -> None:
         """Unlink every live shared-memory segment this driver created."""
+        self._encoded_broadcast = _NOTHING
+        self._encoded = None
         segments, self._segments = self._segments, []
         if segments:
             from repro.engine.shm import destroy_segment
@@ -850,7 +889,9 @@ class Engine:
                 record_flight_span(flight, "lost", reason=reason)
             t0 = time.perf_counter()
             with self.counters.timed_setup("respawn_teardown"):
-                self._teardown_pool()
+                # Keep the segments: the broadcast value is unchanged, so
+                # the replacement workers re-attach what already exists.
+                self._teardown_pool(keep_segments=True)
             self._ensure_pool()
             if wants_broadcast:
                 self._ship_broadcast(broadcast, warmup)
@@ -1032,27 +1073,51 @@ class Engine:
     # Broadcast shipping
     # ------------------------------------------------------------------
 
-    def _encode_broadcast(self, broadcast: Any) -> tuple[str, bytes, Any, Any]:
+    def _encode_broadcast(
+        self, broadcast: Any
+    ) -> tuple[str, bytes, Any, list[Any]]:
         """Serialize ``broadcast`` for fan-out on the configured channel.
 
-        Returns ``(channel, blob, handle, segment)``.  ``auto`` (and a
+        Returns ``(channel, blob, handle, segments)``.  ``auto`` (and a
         forced ``shm``) resolves to the shared-memory channel only when
-        the value actually contains flat dictionaries to hoist; anything
-        else ships as a plain pickle blob — there is nothing zero-copy
-        about arbitrary Python objects.
+        the value actually contains flat or sharded dictionaries to
+        hoist; anything else ships as a plain pickle blob — there is
+        nothing zero-copy about arbitrary Python objects.
+
+        On the shm channel ``handle`` is the pair ``(flat_handle | None,
+        sharded_dictionary_handles)`` and ``segments`` lists every
+        shared-memory segment created: the flat segment plus, for each
+        sharded dictionary, one root segment and one segment per leaf
+        shard.  Creation is all-or-nothing — a failure partway destroys
+        whatever was already created before re-raising, so no segment
+        can leak without ever having been handed to a worker.
         """
         if self.broadcast_channel == "pickle":
             blob = pickle.dumps(broadcast, protocol=pickle.HIGHEST_PROTOCOL)
-            return "pickle", blob, None, None
+            return "pickle", blob, None, []
         from repro.engine import shm as _shm
 
-        blob, flats = _shm.export_broadcast(broadcast)
-        if not flats:
+        blob, flats, sharded = _shm.export_broadcast_parts(broadcast)
+        if not flats and not sharded:
             # No columnar payload: the export blob has no persistent ids,
             # so it is an ordinary pickle stream.
-            return "pickle", blob, None, None
-        handle, segment = _shm.create_segment(flats)
-        return "shm", blob, handle, segment
+            return "pickle", blob, None, []
+        segments: list[Any] = []
+        flat_handle = None
+        try:
+            if flats:
+                flat_handle, flat_segment = _shm.create_segment(flats)
+                segments.append(flat_segment)
+            sharded_handles = []
+            for dictionary in sharded:
+                handle, shard_segments = _shm.create_sharded_segments(dictionary)
+                segments.extend(shard_segments)
+                sharded_handles.append(handle)
+        except BaseException:
+            for segment in segments:
+                _shm.destroy_segment(segment)
+            raise
+        return "shm", blob, (flat_handle, tuple(sharded_handles)), segments
 
     def _ship_broadcast(
         self, broadcast: Any, warmup: Callable[[Any], Any] | None
@@ -1061,13 +1126,25 @@ class Engine:
         if broadcast is self._shipped_broadcast:
             return
         self._shipped_epoch += 1
-        channel, blob, handle, segment = self._encode_broadcast(broadcast)
+        reused = (
+            broadcast is self._encoded_broadcast and self._encoded is not None
+        )
+        if reused:
+            # Re-spawn path: same value, segments still linked — the
+            # replacement workers just re-attach them.
+            channel, blob, handle = self._encoded
+            segments: list[Any] = []
+        else:
+            channel, blob, handle, segments = self._encode_broadcast(broadcast)
+        live = segments if not reused else self._segments
         ship_span = self.tracer.start_span(
             "broadcast_ship", "setup", push=False, epoch=self._shipped_epoch,
             annotations={
                 "channel": channel,
                 "payload_bytes": len(blob),
-                "segment_bytes": segment.size if segment is not None else 0,
+                "segment_bytes": sum(s.size for s in live),
+                "num_segments": len(live),
+                "segments_reused": reused,
             },
         )
         start = time.perf_counter()
@@ -1077,22 +1154,38 @@ class Engine:
         try:
             installs = self._pool.map(_install_broadcast, payloads, chunksize=1)
         except BaseException:
-            # Fan-out failed: nobody holds the new segment, reclaim it.
-            if segment is not None:
+            # Fan-out failed: nobody holds the new segments, reclaim
+            # them (reused segments stay — the next re-spawn needs them,
+            # and teardown/close unlinks them regardless).
+            if segments:
                 from repro.engine.shm import destroy_segment
 
-                destroy_segment(segment)
+                for segment in segments:
+                    destroy_segment(segment)
             raise
         wall = time.perf_counter() - start
         self.tracer.end_span(ship_span, warmed=warmup is not None)
-        # Every worker has attached the new epoch (and unmapped the old
-        # one), so the previous segments can be unlinked now.
-        self._destroy_segments()
-        if segment is not None:
-            self._segments.append(segment)
+        if not reused:
+            # Every worker has attached the new epoch (and unmapped the
+            # old one), so the previous segments can be unlinked now.
+            self._destroy_segments()
+            self._segments.extend(segments)
+            if channel == "shm":
+                self._encoded_broadcast = broadcast
+                self._encoded = (channel, blob, handle)
         self.counters.add_broadcast_bytes(channel, len(blob))
-        if segment is not None:
-            self.counters.add_broadcast_bytes("shm_segment", segment.size)
+        if not reused and channel == "shm":
+            flat_handle, sharded_handles = handle
+            if flat_handle is not None:
+                self.counters.add_broadcast_bytes("shm_segment", flat_handle.size)
+            for sharded_handle in sharded_handles:
+                self.counters.add_broadcast_bytes(
+                    "shm_root_segment", sharded_handle.root.size
+                )
+                self.counters.add_broadcast_bytes(
+                    "shm_shard_segments",
+                    sum(h.size for h in sharded_handle.shards),
+                )
         warm_wall = max(w for _, _, w in installs) if warmup is not None else 0.0
         # Warm-ups run concurrently across workers, so the slowest one is
         # the wall-clock share of the fan-out attributable to warm-up.
@@ -1101,6 +1194,23 @@ class Engine:
             self.counters.add_setup_time("warmup", warm_wall)
         self._shipped_broadcast = broadcast
         self.broadcast_ships += 1
+
+    def collect_broadcast_stats(self) -> list[tuple[int, dict]]:
+        """Gather each worker's shard-residency ledger (process mode).
+
+        Fans one :func:`_collect_residency` task to every worker with the
+        same barrier rendezvous as a broadcast ship.  Returns ``[(pid,
+        stats_dict), ...]`` — empty when there is no live pool or the
+        pool is damaged (a crashed worker cannot report; its replacement
+        has nothing to say).
+        """
+        if self.mode != "process" or self._pool is None or self._pool_damaged():
+            return []
+        tokens = list(range(self.num_workers))
+        try:
+            return self._pool.map(_collect_residency, tokens, chunksize=1)
+        except Exception:
+            return []
 
     def _warm_inline(self, broadcast: Any, warmup: Callable[[Any], Any]) -> None:
         """Driver-side warm-up with the same once-per-value semantics."""

@@ -177,12 +177,20 @@ def broadcast_ledger_rows(spans: list[Span]) -> list[list]:
             continue
         payload = span.annotations.get("payload_bytes")
         segment = span.annotations.get("segment_bytes")
+        num_segments = span.annotations.get("num_segments")
+        segment_cell = f"{segment} B" if segment else None
+        if segment and num_segments and num_segments > 1:
+            # Sharded broadcast: root + leaf shard segments (partial
+            # residency on the worker side).
+            segment_cell = f"{segment} B / {num_segments} seg"
+        if span.annotations.get("segments_reused"):
+            segment_cell = (segment_cell or "") + " (reused)"
         rows.append(
             [
                 span.epoch,
                 span.annotations.get("channel"),
                 f"{payload} B" if payload is not None else None,
-                f"{segment} B" if segment else None,
+                segment_cell,
                 format_duration(span.duration_s),
             ]
         )

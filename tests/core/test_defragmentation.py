@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
 
 from repro.core.cells import CellGeometry
 from repro.core.defragmentation import defragment
-from repro.core.dictionary import CellDictionary
+from repro.core.dictionary import CellDictionary, FlatCellDictionary
 
 
 @pytest.fixture()
@@ -116,3 +119,70 @@ class TestSkipping:
         touched = defrag.record_cells_consulted(some_cells)
         assert 1 <= touched <= defrag.num_sub_dicts
         assert defrag.queries == 1
+
+
+@pytest.fixture()
+def flat(geometry):
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 5, (3000, 2))
+    return FlatCellDictionary.from_points(pts, geometry)
+
+
+class TestFlatEdgeCases:
+    def test_capacity_below_largest_cell_still_covers(self, flat):
+        # Every cell carries 1 + num_subcells entries, so capacity=1 is
+        # below every cell's weight: each leaf bottoms out as a single
+        # oversized cell yet the pieces still tile the dictionary.
+        defrag = defragment(flat, capacity=1)
+        assert defrag.num_sub_dicts == flat.num_cells
+        covered = np.sort(np.concatenate([s.rows for s in defrag.sub_dicts]))
+        np.testing.assert_array_equal(covered, np.arange(flat.num_cells))
+        for sub in defrag.sub_dicts:
+            assert sub.rows.size == 1
+            assert sub.num_entries > 1  # oversized only because single-cell
+
+    def test_empty_flat_dictionary(self, geometry):
+        empty = FlatCellDictionary.from_points(np.empty((0, 2)), geometry)
+        defrag = defragment(empty, capacity=10)
+        assert defrag.num_sub_dicts == 0
+        assert defrag.record_cells_consulted([]) == 0
+        assert defrag.queries == 1
+
+    def test_record_cells_consulted_ignores_absent_cells(self, flat):
+        defrag = defragment(flat, capacity=200)
+        present = flat.cell_at(0)
+        absent = (10_000, 10_000)
+        touched = defrag.record_cells_consulted([present, absent])
+        # Only the present cell's owner counts; the absent id is dropped
+        # rather than crashing the row lookup or polluting the tally.
+        assert touched == 1
+        assert defrag.queries == 1
+        assert defrag.record_cells_consulted([absent, absent]) == 0
+        assert defrag.queries == 2
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    points=arrays(
+        np.float64,
+        st.tuples(st.integers(1, 150), st.integers(1, 3)),
+        elements=st.floats(-5, 5, allow_nan=False, width=32),
+    ),
+    capacity=st.integers(1, 500),
+)
+def test_dict_and_flat_defragment_identically(points, capacity):
+    """Both layouts run the same BSP over the same sorted cell ids, so
+    they must produce the same partition into sub-dictionaries."""
+    geometry = CellGeometry(eps=0.5, dim=points.shape[1], rho=0.1)
+    dict_pieces = {
+        frozenset(sub.cells)
+        for sub in defragment(
+            CellDictionary.from_points(points, geometry), capacity=capacity
+        ).sub_dicts
+    }
+    flat = FlatCellDictionary.from_points(points, geometry)
+    flat_pieces = {
+        frozenset(flat.cell_at(row) for row in sub.rows)
+        for sub in defragment(flat, capacity=capacity).sub_dicts
+    }
+    assert flat_pieces == dict_pieces

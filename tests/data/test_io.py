@@ -25,6 +25,26 @@ class TestPointsRoundtrip:
         save_points(path, pts)
         assert load_points(path).shape == (1, 3)
 
+    def test_single_column_npy(self, tmp_path):
+        # Regression: a 1-d .npy payload (one scalar per point) must load
+        # as an (n, 1) column, not stay 1-d or come back transposed.
+        pts = np.array([[0.5], [1.5], [-2.0], [7.25]])
+        path = tmp_path / "col.npy"
+        save_points(path, pts)
+        loaded = load_points(path)
+        assert loaded.shape == (4, 1)
+        np.testing.assert_array_equal(loaded, pts)
+
+    def test_single_column_csv(self, tmp_path):
+        # Regression: loadtxt flattens single-column CSVs to 1-d without
+        # ndmin=2, which then reshaped into a (1, n) transpose downstream.
+        pts = np.array([[0.5], [1.5], [-2.0], [7.25]])
+        path = tmp_path / "col.csv"
+        save_points(path, pts)
+        loaded = load_points(path)
+        assert loaded.shape == (4, 1)
+        np.testing.assert_allclose(loaded, pts)
+
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_points(tmp_path / "nope.npy")

@@ -7,32 +7,43 @@ Covers the three layers of the ``shm`` channel:
   views, segment naming;
 * the engine integration — channel selection (``auto``/``pickle``/
   ``shm``), byte accounting per channel, cross-channel label identity,
-  and segment lifecycle (unlinked on close, on re-ship, and on pool
-  re-spawn after a chaos-injected worker crash);
-* leak hygiene — after every scenario, no ``rpdbscan_*`` segment
-  remains in ``/dev/shm``.
+  and segment lifecycle (unlinked on close and on re-ship; re-attached,
+  not re-created, on pool re-spawn after a chaos-injected worker crash);
+* the sharded (budgeted partial-broadcast) payloads — per-shard segment
+  round trips, all-or-nothing creation, and label identity under a
+  worker-side residency budget;
+* leak hygiene — after every scenario, including install failures
+  partway through segment creation, no ``rpdbscan_*`` segment remains
+  in ``/dev/shm``.
 """
 
 import glob
+import threading
 
 import numpy as np
 import pytest
 
 from repro.core.cells import CellGeometry
+from repro.core.defragmentation import defragment
 from repro.core.dictionary import FlatCellDictionary
 from repro.core.rp_dbscan import RPDBSCAN
+from repro.core.sharding import ShardedFlatDictionary
 from repro.engine import Engine, FaultPolicy
 from repro.engine.faults import FAULT_RESPAWNS
 from repro.engine.shm import (
     SHM_NAME_PREFIX,
+    _suppressed_tracker_registration,
     attach_segment,
     create_segment,
+    create_sharded_segments,
     destroy_segment,
     export_broadcast,
+    export_broadcast_parts,
     import_broadcast,
+    import_broadcast_parts,
 )
 
-from .test_faults import _crash_once_injector
+from .test_faults import CHAOS_INJECTOR, _crash_once_injector
 
 
 def live_segments() -> list[str]:
@@ -74,6 +85,21 @@ def lookup_nested(row, broadcast):
 
 def add_broadcast(x, b):
     return x + b
+
+
+def lookup_partial(row, broadcast):
+    """Worker body: compare the full and partial dictionary views."""
+    full, partial = broadcast["context"]
+    rows = np.array([row], dtype=np.int64)
+    want = full.gather_subcells(rows)
+    got = partial.gather_subcells(rows)
+    return all(np.array_equal(g, w) for g, w in zip(got, want))
+
+
+def _budgeted_sharded(flat, budget=8192):
+    return ShardedFlatDictionary.from_defragmented(
+        defragment(flat, capacity=200), budget_bytes=budget
+    )
 
 
 class TestExportImport:
@@ -209,7 +235,7 @@ class TestLabelIdentityAcrossChannels:
 
 
 class TestChaosSegmentHygiene:
-    def test_crash_respawn_reships_fresh_segment(self, flat):
+    def test_crash_respawn_reships_reusing_segments(self, flat):
         inj = _crash_once_injector("q", 6)
         policy = FaultPolicy(
             max_retries=2, backoff_base_s=0.001, speculative=False, injector=inj
@@ -223,10 +249,208 @@ class TestChaosSegmentHygiene:
             assert [row[0] for row in out] == [flat.cell_at(r) for r in range(6)]
             assert engine.counters.fault_event_count(FAULT_RESPAWNS) == 1
             assert engine.pools_created == 2
-            # The respawned pool re-shipped under a fresh epoch, through
-            # a fresh segment; the dead pool's segment was unlinked.
+            # The respawned pool re-shipped under a fresh epoch, but the
+            # segments were kept across the respawn: the replacement
+            # workers just re-attach the existing ones (the driver never
+            # re-packs gigabytes because a worker died).
             assert engine.broadcast_ships == 2
             assert engine.broadcast_epoch == 2
             assert engine.counters.broadcast_bytes["shm"] > 0
             assert len(live_segments()) == 1
+        assert live_segments() == []
+
+
+class TestTrackerPatch:
+    """The resource-tracker suppression patch (attach-only fallback)."""
+
+    def test_reentrant_nesting_restores_once(self):
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        with _suppressed_tracker_registration():
+            patched = resource_tracker.register
+            assert patched is not original
+            with _suppressed_tracker_registration():
+                # Re-entry keeps the installed patch instead of stacking
+                # a second wrapper around it.
+                assert resource_tracker.register is patched
+            # The inner exit must not restore early.
+            assert resource_tracker.register is patched
+        assert resource_tracker.register is original
+
+    def test_non_shm_registrations_pass_through(self, monkeypatch):
+        from multiprocessing import resource_tracker
+
+        calls = []
+        monkeypatch.setattr(
+            resource_tracker, "register", lambda name, rtype: calls.append((name, rtype))
+        )
+        with _suppressed_tracker_registration():
+            resource_tracker.register("/x", "shared_memory")  # suppressed
+            resource_tracker.register("/y", "semaphore")  # forwarded
+        assert calls == [("/y", "semaphore")]
+        resource_tracker.register("/z", "shared_memory")  # restored verbatim
+        assert calls[-1] == ("/z", "shared_memory")
+
+    def test_concurrent_suppression_is_serialized(self):
+        # The shard LRU cache attaches segments from whatever thread
+        # faults a shard in; a racy patch would restore the original out
+        # of order and either leak the suppression or drop it mid-attach.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        errors = []
+
+        def storm():
+            try:
+                for _ in range(200):
+                    with _suppressed_tracker_registration():
+                        assert resource_tracker.register is not original
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=storm) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert resource_tracker.register is original
+
+
+class TestShardedSegments:
+    def test_round_trip_through_segments(self, flat):
+        sharded = _budgeted_sharded(flat)
+        blob, flats, shardeds = export_broadcast_parts({"d": sharded})
+        assert flats == []
+        assert shardeds == [sharded]
+        assert len(blob) < 1000  # shards stayed out of the pickle stream
+        handle, segments = create_sharded_segments(sharded)
+        try:
+            assert len(segments) == 1 + sharded.num_shards  # root + leaves
+            value, attachments = import_broadcast_parts(blob, None, None, [handle])
+            try:
+                partial = value["d"]
+                assert not partial.cell_ids.flags.writeable  # zero-copy views
+                rows = np.arange(flat.num_cells, dtype=np.int64)
+                want = flat.gather_subcells(rows)
+                got = partial.gather_subcells(rows)
+                for got_part, want_part in zip(got, want):
+                    np.testing.assert_array_equal(got_part, want_part)
+                stats = partial.residency_stats()
+                assert stats["peak_resident_bytes"] <= sharded.budget_bytes
+                assert stats["shard_evictions"] > 0  # budget actually bit
+            finally:
+                for attachment in attachments:
+                    attachment.close()
+        finally:
+            for segment in segments:
+                destroy_segment(segment)
+
+    def test_create_sharded_segments_all_or_nothing(self, flat, monkeypatch):
+        import repro.engine.shm as shm_mod
+
+        sharded = _budgeted_sharded(flat)
+        real = shm_mod.pack_arrays
+        calls = {"n": 0}
+
+        def failing_pack(arrays):
+            calls["n"] += 1
+            if calls["n"] == 3:  # root and first shard already created
+                raise OSError("synthetic segment-creation failure")
+            return real(arrays)
+
+        monkeypatch.setattr(shm_mod, "pack_arrays", failing_pack)
+        with pytest.raises(OSError, match="synthetic"):
+            create_sharded_segments(sharded)
+        # The two segments created before the failure were reclaimed.
+        assert live_segments() == []
+
+    def test_engine_install_failure_leaks_nothing(self, flat, monkeypatch):
+        import repro.engine.shm as shm_mod
+
+        sharded = _budgeted_sharded(flat)
+        broadcast = {"context": (flat, sharded)}
+
+        def failing_create(dictionary):
+            raise OSError("synthetic broadcast-install failure")
+
+        with Engine("process", num_workers=2, broadcast_channel="shm") as engine:
+            monkeypatch.setattr(shm_mod, "create_sharded_segments", failing_create)
+            with pytest.raises(OSError, match="synthetic"):
+                engine.map_tasks(
+                    lookup_partial, [0, 1], broadcast=broadcast, phase="q"
+                )
+            # The flat segment packed before the sharded failure was
+            # reclaimed: an aborted install never strands a segment.
+            assert live_segments() == []
+            monkeypatch.undo()
+            # The engine survives the failed install — the same value
+            # ships cleanly on retry.
+            out = engine.map_tasks(
+                lookup_partial, [0, 1, 2], broadcast=broadcast, phase="q"
+            )
+            assert out == [True, True, True]
+            for _, stats in engine.collect_broadcast_stats():
+                if stats["num_shards"]:
+                    assert stats["peak_resident_bytes"] <= sharded.budget_bytes
+        assert live_segments() == []
+
+
+class TestBudgetedFitIdentity:
+    def test_budgeted_labels_bit_identical_and_bounded(self, blobs_with_noise):
+        budget = 4096
+        serial = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=6, seed=0).fit(
+            blobs_with_noise
+        )
+        with Engine("process", num_workers=2, broadcast_channel="shm") as engine:
+            budgeted = RPDBSCAN(
+                eps=0.3,
+                min_pts=10,
+                num_partitions=6,
+                seed=0,
+                engine=engine,
+                broadcast_budget=budget,
+            ).fit(blobs_with_noise)
+        np.testing.assert_array_equal(budgeted.labels, serial.labels)
+        np.testing.assert_array_equal(budgeted.core_mask, serial.core_mask)
+        residency = budgeted.broadcast_residency
+        assert residency is not None
+        assert residency["driver"]["budget_bytes"] == budget
+        workers = residency["workers"]
+        assert workers  # process mode collected per-worker ledgers
+        for stats in workers:
+            assert stats["peak_resident_bytes"] <= budget
+        assert live_segments() == []
+
+    def test_budgeted_fit_survives_chaos_respawn(self, blobs_with_noise):
+        serial = RPDBSCAN(eps=0.3, min_pts=10, num_partitions=6, seed=0).fit(
+            blobs_with_noise
+        )
+        policy = FaultPolicy(
+            max_retries=8,
+            backoff_base_s=0.01,
+            backoff_max_s=0.1,
+            task_timeout_s=0.4,
+            max_respawns=20,
+            speculative=False,
+            injector=CHAOS_INJECTOR,
+        )
+        with Engine(
+            "process", num_workers=2, fault_policy=policy, broadcast_channel="shm"
+        ) as engine:
+            chaos = RPDBSCAN(
+                eps=0.3,
+                min_pts=10,
+                num_partitions=6,
+                seed=0,
+                engine=engine,
+                broadcast_budget=4096,
+            ).fit(blobs_with_noise)
+        # A crash mid-phase re-ships the budgeted broadcast by
+        # re-attaching the kept segments; not a single label moves.
+        np.testing.assert_array_equal(chaos.labels, serial.labels)
+        assert chaos.fault_events.get(FAULT_RESPAWNS, 0) >= 1
+        for stats in chaos.broadcast_residency["workers"]:
+            assert stats["peak_resident_bytes"] <= 4096
         assert live_segments() == []
