@@ -33,6 +33,7 @@ from repro.core.rp_dbscan import RPDBSCAN
 from repro.data.datasets import DATASETS
 from repro.data.io import load_points, save_labels, save_points
 from repro.engine import Engine, FaultInjector, FaultPolicy
+from repro.kernels import KERNELS, KernelUnavailableError
 from repro.obs import (
     EVENT_RESPAWN,
     TRACE_FORMATS,
@@ -128,23 +129,29 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         broadcast_channel=args.broadcast,
     )
     try:
-        model = RPDBSCAN(
-            eps=args.eps,
-            min_pts=args.min_pts,
-            num_partitions=args.partitions,
-            rho=args.rho,
-            seed=args.seed,
-            engine=engine,
-            merge_mode=args.merge,
-            graph_layout=args.graph_layout,
-            broadcast_budget=args.broadcast_budget,
-        )
+        try:
+            model = RPDBSCAN(
+                eps=args.eps,
+                min_pts=args.min_pts,
+                num_partitions=args.partitions,
+                rho=args.rho,
+                seed=args.seed,
+                engine=engine,
+                merge_mode=args.merge,
+                graph_layout=args.graph_layout,
+                broadcast_budget=args.broadcast_budget,
+                kernel=args.kernel,
+            )
+        except KernelUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         result = model.fit(points)
     finally:
         engine.close()
     print(
         f"clusters={result.n_clusters} noise={result.noise_count} "
-        f"core={int(result.core_mask.sum())} elapsed={result.total_seconds:.3f}s"
+        f"core={int(result.core_mask.sum())} kernel={result.kernel} "
+        f"elapsed={result.total_seconds:.3f}s"
     )
     for phase, fraction in result.phase_breakdown().items():
         print(f"  {phase}: {fraction:.1%}")
@@ -331,6 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="flat",
         help="cell-graph layout: columnar flat arrays (default) or the "
         "dict-of-tuples reference implementation",
+    )
+    engine_group.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="auto",
+        help="Phase II inner-loop backend: compiled numba kernels (requires "
+        "the 'kernels' extra), the vectorized numpy reference, or auto "
+        "(default: numba when installed, else numpy; labels are "
+        "bit-identical either way)",
     )
     engine_group.add_argument(
         "--max-retries",

@@ -63,6 +63,7 @@ class QueryContext:
     dictionary: CellDictionary | FlatCellDictionary | PartialFlatDictionary
     strategy: str = "auto"
     defragment_capacity: int | None = None
+    kernel: str = "numpy"
     _engine: RegionQueryEngine | None = field(default=None, repr=False, compare=False)
     _defrag: DefragmentedDictionary | FlatDefragmentedDictionary | None = field(
         default=None, repr=False, compare=False
@@ -83,14 +84,20 @@ class QueryContext:
                 # layout (one shard per sub-dictionary), so wrapping it
                 # again would be redundant — residency accounting lives
                 # on the partial dictionary itself.
-                self._engine = RegionQueryEngine(self.dictionary, strategy=self.strategy)
+                self._engine = RegionQueryEngine(
+                    self.dictionary, strategy=self.strategy, kernel=self.kernel
+                )
             elif self.defragment_capacity is not None:
                 self._defrag = defragment(
                     self.dictionary, capacity=self.defragment_capacity
                 )
-                self._engine = RegionQueryEngine(self._defrag, strategy=self.strategy)
+                self._engine = RegionQueryEngine(
+                    self._defrag, strategy=self.strategy, kernel=self.kernel
+                )
             else:
-                self._engine = RegionQueryEngine(self.dictionary, strategy=self.strategy)
+                self._engine = RegionQueryEngine(
+                    self.dictionary, strategy=self.strategy, kernel=self.kernel
+                )
             # Broadcast-load warm-up: see CellDictionary.materialize_centers.
             self.dictionary.materialize_centers()
         return self._engine

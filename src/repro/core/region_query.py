@@ -15,6 +15,16 @@ distance test, and candidates outside the ball are dropped.
 Queries are batched per cell: every point of a cell shares the same
 candidate-cell set, so one ``(n_points x n_centers)`` distance matrix
 answers all of a cell's queries — this is the Phase II hot path.
+
+The batch is answered by one of two interchangeable backends behind the
+``kernel`` switch: the vectorized ``numpy`` path below, or the compiled
+:mod:`repro.kernels` loop (``numba``; ``python`` runs the same loop
+uncompiled).  Candidate search and candidate-box classification are
+shared by every backend — the kernel seam starts *after* the candidate
+set is fixed, which is what keeps it strategy-agnostic (a sampled or
+kNN-graph region-query strategy plugs in above the seam, the kernels
+below it).  All backends are bit-identical; see
+:mod:`repro.kernels.phase2` for the floating-point contract.
 """
 
 from __future__ import annotations
@@ -30,8 +40,10 @@ from repro.core.defragmentation import (
 )
 from repro.core.dictionary import CellDictionary, FlatCellDictionary
 from repro.core.sharding import PartialFlatDictionary
+from repro.kernels import get_impls, resolve_kernel
+from repro.kernels import warmup as warmup_kernels
 from repro.spatial.cell_index import NeighborCellFinder
-from repro.spatial.distance import pairwise_distances
+from repro.spatial.distance import seq_squared_distances
 
 __all__ = ["CellBatchQueryResult", "RegionQueryEngine"]
 
@@ -80,6 +92,14 @@ class RegionQueryEngine:
         Candidate-cell search: ``"enumerate"`` (integer offsets),
         ``"kdtree"`` (tree over non-empty cell centers), or ``"auto"``
         (enumerate while the offset table stays small).
+    kernel:
+        Batch-query backend: ``"numpy"`` (vectorized reference,
+        default), ``"numba"`` (compiled :mod:`repro.kernels` loops;
+        raises :class:`~repro.kernels.KernelUnavailableError` when numba
+        is absent), ``"python"`` (the kernel source uncompiled — the
+        conformance suite's reference), or ``"auto"`` (numba when
+        importable, else numpy).  Results are bit-identical across
+        backends.
     """
 
     def __init__(
@@ -93,6 +113,7 @@ class RegionQueryEngine:
         ),
         *,
         strategy: str = "auto",
+        kernel: str = "numpy",
     ) -> None:
         if isinstance(dictionary, (DefragmentedDictionary, FlatDefragmentedDictionary)):
             self._defrag = dictionary
@@ -110,7 +131,13 @@ class RegionQueryEngine:
             else None
         )
         self._partial = inner if isinstance(inner, PartialFlatDictionary) else None
+        # Monolithic CSR arrays (flat layout, incl. its defragmented
+        # wrapper) admit the fused kernel; the partial (sharded) and
+        # dict layouts go through the gathered kernel instead.
+        self._csr = inner if isinstance(inner, FlatCellDictionary) else None
         self._dict = inner
+        self.kernel = resolve_kernel(kernel)
+        self._impls = get_impls(self.kernel) if self.kernel != "numpy" else None
         self.geometry: CellGeometry = inner.geometry
         # The finder consumes the lexicographically sorted id array, so
         # its rows are the dictionary's dense indices and every candidate
@@ -133,6 +160,23 @@ class RegionQueryEngine:
         box — a superset of every point-level candidate set for points in
         that cell.  Lexicographically ordered."""
         return self._finder.candidates(cell_id)
+
+    # ------------------------------------------------------------------
+    # Kernel warm-up
+    # ------------------------------------------------------------------
+
+    def warmup_kernel(self) -> float:
+        """Compile the numba kernels for this engine's dimensionality.
+
+        Invoked from the Phase II warm-up hook during broadcast
+        installation, so JIT compilation is charged to the
+        ``engine.setup`` bucket and never to a phase timing.  Returns
+        the seconds spent compiling (0.0 for non-numba backends or when
+        the signatures are already warm).
+        """
+        if self.kernel != "numba":
+            return 0.0
+        return warmup_kernels(self.geometry.dim)
 
     # ------------------------------------------------------------------
     # Batched query (Phase II hot path)
@@ -172,7 +216,39 @@ class RegionQueryEngine:
                 candidate_rows=rows,
             )
 
-        # Point-to-box distances for all candidates at once: (n, m, d).
+        # Candidate-box classification (shared by every backend): the
+        # point-to-box min/max distances split candidates into
+        # fully-contained (Example 5.5 case 1: every sub-cell center is
+        # a neighbor), partially-contained (case 2: test the centers),
+        # and out-of-reach.
+        near, full = self._classify_boxes(pts, candidate_array, side, eps2)
+        if self._flat is not None:
+            cell_counts = self._flat.cell_counts[rows].astype(np.float64)
+        else:
+            cell_counts = np.array(
+                [self._dict.cells[c].count for c in candidates], dtype=np.float64
+            )
+        if self._impls is not None:
+            self._query_kernel(
+                pts, rows, candidates, near, full, cell_counts, eps2, counts, touch
+            )
+        else:
+            self._query_numpy(
+                pts, rows, candidates, near, full, cell_counts, eps2, counts, touch
+            )
+        return CellBatchQueryResult(
+            candidate_ids=candidates,
+            counts=counts,
+            touch=touch,
+            candidate_rows=rows,
+        )
+
+    @staticmethod
+    def _classify_boxes(
+        pts: np.ndarray, candidate_array: np.ndarray, side: float, eps2: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(near, full)`` bool masks: point-to-box distances for all
+        candidates at once via ``(n, m, d)`` broadcasting."""
         los = candidate_array.astype(np.float64) * side  # (m, d)
         diff_lo = los[None, :, :] - pts[:, None, :]
         diff_hi = -diff_lo - side  # pts - (los + side)
@@ -180,17 +256,32 @@ class RegionQueryEngine:
         min_d2 = np.einsum("ijk,ijk->ij", gap, gap)  # (n, m)
         corner = np.maximum(np.abs(diff_lo), np.abs(diff_hi))
         max_d2 = np.einsum("ijk,ijk->ij", corner, corner)
-        near = min_d2 <= eps2
-        # Fully-contained fast path (Example 5.5 case 1): the whole
-        # candidate box is inside the query ball, so every sub-cell
-        # center is a neighbor.
-        full = max_d2 <= eps2
+        return min_d2 <= eps2, max_d2 <= eps2
+
+    def _gather_partial(
+        self,
+        rows: np.ndarray,
+        partial_cols: np.ndarray,
+        candidates: list[CellId],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(centers, densities, sizes)`` of the partial candidates'
+        sub-cells, concatenated in candidate order."""
         if self._flat is not None:
-            cell_counts = self._flat.cell_counts[rows].astype(np.float64)
-        else:
-            cell_counts = np.array(
-                [self._dict.cells[c].count for c in candidates], dtype=np.float64
-            )
+            # One vectorized CSR gather over the columnar arrays.
+            return self._flat.gather_subcells(rows[partial_cols])
+        center_blocks = [
+            self._dict.sub_cell_centers(candidates[j]) for j in partial_cols
+        ]
+        density_blocks = [self._dict.densities(candidates[j]) for j in partial_cols]
+        sizes = np.array([block.shape[0] for block in center_blocks])
+        centers = np.concatenate(center_blocks)  # (M, d)
+        densities = np.concatenate(density_blocks)  # (M,)
+        return centers, densities, sizes
+
+    def _query_numpy(
+        self, pts, rows, candidates, near, full, cell_counts, eps2, counts, touch
+    ) -> None:
+        """The vectorized reference backend (``kernel="numpy"``)."""
         counts += full @ cell_counts
         touch |= full
 
@@ -199,35 +290,72 @@ class RegionQueryEngine:
         partial = near & ~full  # (n, m)
         partial_cols = np.nonzero(partial.any(axis=0))[0]
         if partial_cols.size:
-            if self._flat is not None:
-                # One vectorized CSR gather over the columnar arrays.
-                centers, densities, sizes = self._flat.gather_subcells(
-                    rows[partial_cols]
-                )
-            else:
-                center_blocks = [
-                    self._dict.sub_cell_centers(candidates[j]) for j in partial_cols
-                ]
-                density_blocks = [
-                    self._dict.densities(candidates[j]) for j in partial_cols
-                ]
-                sizes = np.array([block.shape[0] for block in center_blocks])
-                centers = np.concatenate(center_blocks)  # (M, d)
-                densities = np.concatenate(density_blocks)  # (M,)
+            centers, densities, sizes = self._gather_partial(
+                rows, partial_cols, candidates
+            )
             starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
             col_of = np.repeat(np.arange(partial_cols.size), sizes)
-            within = pairwise_distances(pts, centers) <= eps  # (n, M)
+            within = seq_squared_distances(pts, centers) <= eps2  # (n, M)
             # A fully-contained candidate was already counted wholesale;
             # mask its columns so nothing is counted twice.
             within &= partial[:, partial_cols][:, col_of]
             counts += within @ densities
             seg_hits = np.add.reduceat(within, starts, axis=1) > 0
             touch[:, partial_cols] |= seg_hits
-        return CellBatchQueryResult(
-            candidate_ids=candidates,
-            counts=counts,
-            touch=touch,
-            candidate_rows=rows,
+
+    def _query_kernel(
+        self, pts, rows, candidates, near, full, cell_counts, eps2, counts, touch
+    ) -> None:
+        """The compiled backend (``kernel="numba"``; ``"python"`` runs
+        the same source uncompiled).  Bit-identical to ``_query_numpy``:
+        the within decision shares the sequential per-dimension
+        accumulation and density sums are exact integer arithmetic in
+        float64 (see :mod:`repro.kernels.phase2`)."""
+        fused, gathered = self._impls
+        if self._csr is not None:
+            # Fused path: the CSR slice is the loop bound — the
+            # candidate gather never materializes.
+            fused(
+                pts,
+                rows,
+                near,
+                full,
+                cell_counts,
+                self._csr.offsets,
+                self._csr.sub_centers,
+                self._csr.sub_counts,
+                eps2,
+                counts,
+                touch,
+            )
+            return
+        # Gathered path (dict layout, sharded partial dictionary): the
+        # layout's own gather produces the center block, the kernel
+        # fuses filter + accumulate over it.
+        partial = near & ~full
+        partial_cols = np.nonzero(partial.any(axis=0))[0]
+        if partial_cols.size:
+            centers, densities, sizes = self._gather_partial(
+                rows, partial_cols, candidates
+            )
+            seg_offsets = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+        else:
+            d = pts.shape[1]
+            centers = np.empty((0, d), dtype=np.float64)
+            densities = np.empty(0, dtype=np.float64)
+            seg_offsets = np.zeros(1, dtype=np.int64)
+        gathered(
+            pts,
+            near,
+            full,
+            cell_counts,
+            partial_cols.astype(np.int64),
+            seg_offsets,
+            centers,
+            densities,
+            eps2,
+            counts,
+            touch,
         )
 
     # ------------------------------------------------------------------

@@ -48,6 +48,7 @@ from repro.data.streaming import PointSource, as_point_source
 from repro.engine.counters import Counters
 from repro.engine.executors import Engine
 from repro.engine.faults import FaultPolicy
+from repro.kernels import resolve_kernel
 
 __all__ = [
     "RPDBSCAN",
@@ -143,10 +144,14 @@ def _phase2_warmup(broadcast) -> None:
     mode, driver-side in serial mode), so kd-tree construction and
     center-cache materialization never land in the first Phase II task's
     timing — that is what keeps Fig 13's slowest/fastest ratio a load
-    measurement instead of a warm-up artifact.
+    measurement instead of a warm-up artifact.  With ``kernel="numba"``
+    the same hook JIT-compiles the Phase II kernels, so compile cost also
+    lands in the ``engine.setup`` bucket — and a respawned worker pool
+    automatically re-warms, because the engine re-ships the broadcast
+    (with this hook) to every fresh pool.
     """
     context = broadcast[0]
-    context.engine
+    context.engine.warmup_kernel()
 
 
 def _phase3_worker(partition: Partition, context: LabelingContext):
@@ -185,6 +190,10 @@ class RPDBSCANResult:
     dictionary_model: DictionarySizeModel
     partition_sizes: list[int] = field(default_factory=list)
     num_points: int = 0
+    #: The resolved Phase II kernel backend this run executed with
+    #: (``"numpy"``, ``"numba"``, or the testing-only ``"python"`` —
+    #: never ``"auto"``, which resolves before the run starts).
+    kernel: str = "numpy"
     global_graph: CellGraph | FlatCellGraph | None = None
     subdict_stats: tuple[int, float] | None = None
     #: Shard-residency ledger of a budgeted run (``--broadcast-budget``):
@@ -288,6 +297,18 @@ class RPDBSCAN:
         ``"random_key"`` (paper) or ``"shuffle"``.
     candidate_strategy:
         Candidate-cell search: ``"auto"``, ``"enumerate"``, ``"kdtree"``.
+    kernel:
+        Phase II inner-loop backend: ``"numpy"`` (vectorized reference),
+        ``"numba"`` (compiled ``@njit(parallel=True)`` kernels over the
+        columnar dictionary arrays; requires the ``kernels`` optional
+        extra), or ``"auto"`` (default; numba when importable, silent
+        numpy fallback otherwise).  Resolved at construction time —
+        an explicit ``"numba"`` without numba raises
+        :class:`~repro.kernels.KernelUnavailableError` immediately.
+        All backends produce bit-identical labels, core flags, and
+        density counts; JIT compilation happens in the engine's Phase II
+        warm-up hook, so it lands in the ``engine.setup`` bucket and
+        never in phase timings.
     fault_policy:
         Optional :class:`~repro.engine.faults.FaultPolicy` installed on
         the engine: parallel phases then run under the engine's recovery
@@ -352,6 +373,7 @@ class RPDBSCAN:
         engine: Engine | None = None,
         partition_method: str = "random_key",
         candidate_strategy: str = "auto",
+        kernel: str = "auto",
         fault_policy: FaultPolicy | None = None,
         defragment_capacity: int | None = None,
         broadcast_budget: int | None = None,
@@ -394,6 +416,11 @@ class RPDBSCAN:
         self.engine = engine if engine is not None else Engine("serial")
         self.partition_method = partition_method
         self.candidate_strategy = candidate_strategy
+        # Resolve at construction time so kernel="numba" without numba
+        # fails fast with the clear install hint, not mid-fit on a
+        # worker; "auto" pins to its concrete backend here so every
+        # worker of the run agrees on it.
+        self.kernel = resolve_kernel(kernel)
         self.fault_policy = fault_policy
         if fault_policy is not None:
             self.engine.fault_policy = fault_policy
@@ -458,7 +485,9 @@ class RPDBSCAN:
         counters = engine_counters
         tracer = self.engine.tracer
         geometry = CellGeometry(self.eps, max(dim, 1), self.rho)
-        with tracer.span("fit", "fit", annotations={"n": n, "dim": dim}):
+        with tracer.span(
+            "fit", "fit", annotations={"n": n, "dim": dim, "kernel": self.kernel}
+        ):
             return self._fit_traced(pts, n, geometry, engine_counters, fit_mark)
 
     def _fit_traced(self, pts, n, geometry, engine_counters, fit_mark):
@@ -474,6 +503,7 @@ class RPDBSCAN:
                 merge_stats=MergeStats(edges_per_round=[0]),
                 dictionary_model=DictionarySizeModel(0, 0, dim or 1, geometry.h),
                 num_points=0,
+                kernel=self.kernel,
             )
 
         # ---------------- Phase I-1: pseudo random partitioning --------
@@ -520,12 +550,15 @@ class RPDBSCAN:
                 sharded = ShardedFlatDictionary.from_defragmented(
                     defrag, budget_bytes=self.broadcast_budget
                 )
-                context = QueryContext(sharded, strategy=self.candidate_strategy)
+                context = QueryContext(
+                    sharded, strategy=self.candidate_strategy, kernel=self.kernel
+                )
             else:
                 context = QueryContext(
                     dictionary,
                     strategy=self.candidate_strategy,
                     defragment_capacity=self.defragment_capacity,
+                    kernel=self.kernel,
                 )
 
         # ---------------- Phase II: cell graph construction ------------
@@ -536,6 +569,7 @@ class RPDBSCAN:
         # With a sharded broadcast, each task also carries the driver's
         # Lemma 5.10 reachable-shard hint: the worker may only attach
         # shards within eps of the partition's cells.
+        counters.registry.counter(f"phase2.kernel.{self.kernel}").inc()
         shard_hints: list[tuple[int, ...] | None] = [None] * len(partitions)
         if sharded is not None:
             for i, partition in enumerate(partitions):
@@ -642,6 +676,7 @@ class RPDBSCAN:
             dictionary_model=dictionary.size_model(),
             partition_sizes=[p.num_points for p in partitions],
             num_points=n,
+            kernel=self.kernel,
             global_graph=global_graph,
             subdict_stats=subdict_stats,
             broadcast_residency=broadcast_residency,

@@ -1,0 +1,258 @@
+"""Fused Phase II kernels: candidate gather + distance filter + density sum.
+
+The (eps, rho)-region query's inner loop — gather a candidate cell's
+sub-cell block from the CSR arrays, test each sub-cell center against
+the query point, and accumulate the densities of the centers that pass
+(Algorithm 3 lines 8-10) — is the Phase II hot path (Fig 12).  This
+module holds that loop as *kernel source functions*: plain-python
+nested loops written in numba's nopython subset, compiled with
+``@njit(parallel=True, cache=True)`` when numba is installed and left
+callable as-is (the slow but exact ``python`` reference backend) when it
+is not.
+
+Two kernel shapes cover every dictionary the region-query engine serves:
+
+* :func:`fused_batch_source` — indexes the columnar
+  :class:`~repro.core.dictionary.FlatCellDictionary` arrays directly
+  (``offsets``/``sub_centers``/``sub_counts``), so the candidate gather
+  never materializes: the CSR slice *is* the loop bounds.  Used for the
+  flat layout and its defragmented wrapper.
+* :func:`gathered_batch_source` — consumes a pre-gathered
+  ``(M, d)`` center block with per-candidate segment offsets.  Used for
+  the dict layout (whose leaves are per-cell arrays) and the sharded
+  :class:`~repro.core.sharding.PartialFlatDictionary` (whose leaves live
+  in per-shard segments), both of which already produce exactly this
+  block for the numpy path.
+
+Bit-identity contract (pinned by ``tests/kernels/``)
+----------------------------------------------------
+The kernels must reproduce the numpy backend's outputs *exactly*:
+
+* The within-``eps`` decision is a squared comparison over a squared
+  distance accumulated **sequentially per dimension**:
+  ``acc = ((0 + diff_0^2) + diff_1^2) + ...`` with no fused
+  multiply-add.  The numpy backend computes the same sequence with one
+  elementwise operation per dimension
+  (:func:`repro.spatial.distance.seq_squared_distances`); since IEEE 754
+  elementwise operations are exactly rounded, the scalar loop here and
+  the vectorized loop there agree to the bit.  (The BLAS expansion
+  ``|a|^2 + |b|^2 - 2ab`` does *not* have this property — its dot
+  products reorder and may fuse — which is why the numpy hot path does
+  not use it.)
+* Density accumulation adds integer-valued float64 terms (cell and
+  sub-cell counts).  Integer sums below 2**53 are exact in float64
+  regardless of association, so the interleaved per-point order here is
+  bit-identical to the numpy backend's two matmuls.
+* ``prange`` parallelism is over query points only; each point's
+  accumulation is sequential and writes disjoint output rows, so results
+  do not depend on thread count or schedule.
+
+Array contracts the kernels assume (DESIGN.md §11): lexicographically
+sorted ``(C, d)`` int64 cell ids whose row order matches ``rows``;
+CSR ``offsets`` of shape ``(C + 1,)`` int64 starting at 0 and covering
+``sub_centers``/``sub_counts``; ``sub_centers`` float64 C-contiguous;
+counts int64; masks bool.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NUMBA_VERSION",
+    "fused_batch_source",
+    "gathered_batch_source",
+    "get_impls",
+    "warmup",
+    "warmed_dims",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+    NUMBA_VERSION: str | None = numba.__version__
+    _prange = numba.prange
+except ImportError:  # the baked-in environment has no numba
+    numba = None  # type: ignore[assignment]
+    HAVE_NUMBA = False
+    NUMBA_VERSION = None
+    _prange = range
+
+
+def _make_fused(prange):
+    def fused_batch(
+        pts,
+        rows,
+        near,
+        full,
+        cell_counts_sel,
+        offsets,
+        sub_centers,
+        sub_counts,
+        eps2,
+        counts,
+        touch,
+    ):
+        n, d = pts.shape
+        m = rows.shape[0]
+        for i in prange(n):
+            acc = 0.0
+            for j in range(m):
+                if full[i, j]:
+                    # Fully-contained candidate (Example 5.5 case 1):
+                    # every sub-cell center is a neighbor; add the
+                    # precomputed root density wholesale.
+                    acc += cell_counts_sel[j]
+                    touch[i, j] = True
+                elif near[i, j]:
+                    row = rows[j]
+                    hit = False
+                    for s in range(offsets[row], offsets[row + 1]):
+                        d2 = 0.0
+                        for k in range(d):
+                            diff = pts[i, k] - sub_centers[s, k]
+                            d2 += diff * diff
+                        if d2 <= eps2:
+                            acc += sub_counts[s]
+                            hit = True
+                    touch[i, j] = hit
+            counts[i] = acc
+
+    return fused_batch
+
+
+def _make_gathered(prange):
+    def gathered_batch(
+        pts,
+        near,
+        full,
+        cell_counts_sel,
+        partial_cols,
+        seg_offsets,
+        centers,
+        densities,
+        eps2,
+        counts,
+        touch,
+    ):
+        n, d = pts.shape
+        m = full.shape[1]
+        p = partial_cols.shape[0]
+        for i in prange(n):
+            acc = 0.0
+            for j in range(m):
+                if full[i, j]:
+                    acc += cell_counts_sel[j]
+                    touch[i, j] = True
+            for jj in range(p):
+                j = partial_cols[jj]
+                if near[i, j] and not full[i, j]:
+                    hit = False
+                    for s in range(seg_offsets[jj], seg_offsets[jj + 1]):
+                        d2 = 0.0
+                        for k in range(d):
+                            diff = pts[i, k] - centers[s, k]
+                            d2 += diff * diff
+                        if d2 <= eps2:
+                            acc += densities[s]
+                            hit = True
+                    touch[i, j] = hit
+            counts[i] = acc
+
+    return gathered_batch
+
+
+#: The reference source functions: plain python, ``range`` in place of
+#: ``prange``.  These ARE the kernels — what numba compiles — runnable
+#: (slowly) in any environment, which is what lets the differential
+#: suite pin the source semantics against the numpy backend even where
+#: numba is absent.
+fused_batch_source = _make_fused(range)
+gathered_batch_source = _make_gathered(range)
+
+_numba_fused = None
+_numba_gathered = None
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _jit = numba.njit(parallel=True, cache=True, nogil=True)
+    _numba_fused = _jit(_make_fused(_prange))
+    _numba_gathered = _jit(_make_gathered(_prange))
+
+
+def get_impls(backend: str):
+    """The ``(fused, gathered)`` callables for a resolved backend.
+
+    ``backend`` must be ``"numba"`` or ``"python"``; the ``numpy``
+    backend has no kernel callables (its implementation is the
+    vectorized path inside :mod:`repro.core.region_query`).
+    """
+    if backend == "python":
+        return fused_batch_source, gathered_batch_source
+    if backend == "numba":
+        if not HAVE_NUMBA:  # pragma: no cover - guarded by resolve_kernel
+            raise RuntimeError("numba backend requested but numba is not importable")
+        return _numba_fused, _numba_gathered
+    raise ValueError(f"no kernel implementations for backend {backend!r}")
+
+
+#: Dimensions whose kernel signatures have been compiled this process.
+_WARMED_DIMS: set[int] = set()
+
+
+def warmed_dims() -> frozenset[int]:
+    """Dimensions already JIT-compiled in this process (for tests)."""
+    return frozenset(_WARMED_DIMS)
+
+
+def warmup(dim: int) -> float:
+    """Compile both kernels for ``dim``-dimensional data; return seconds.
+
+    Called from the engine's Phase II warm-up hook so the one-time JIT
+    cost lands in the ``engine.setup`` counter bucket, never in a phase
+    timing.  Idempotent per dimension and process (numba caches compiled
+    signatures; ``cache=True`` additionally persists them on disk).
+    A no-op returning 0.0 when numba is not installed.
+    """
+    if not HAVE_NUMBA:
+        return 0.0
+    if dim in _WARMED_DIMS:
+        return 0.0
+    import numpy as np
+
+    start = time.perf_counter()
+    pts = np.zeros((1, dim), dtype=np.float64)
+    near = np.ones((1, 1), dtype=np.bool_)
+    full = np.zeros((1, 1), dtype=np.bool_)
+    counts_sel = np.zeros(1, dtype=np.float64)
+    counts = np.zeros(1, dtype=np.float64)
+    touch = np.zeros((1, 1), dtype=np.bool_)
+    _numba_fused(
+        pts,
+        np.zeros(1, dtype=np.int64),
+        near,
+        full,
+        counts_sel,
+        np.array([0, 1], dtype=np.int64),
+        np.zeros((1, dim), dtype=np.float64),
+        np.ones(1, dtype=np.int64),
+        1.0,
+        counts,
+        touch,
+    )
+    touch[:] = False
+    _numba_gathered(
+        pts,
+        near,
+        full,
+        counts_sel,
+        np.zeros(1, dtype=np.int64),
+        np.array([0, 1], dtype=np.int64),
+        np.zeros((1, dim), dtype=np.float64),
+        np.ones(1, dtype=np.float64),
+        1.0,
+        counts,
+        touch,
+    )
+    _WARMED_DIMS.add(dim)
+    return time.perf_counter() - start

@@ -250,6 +250,17 @@ def render_run_report(spans: list[Span], *, title: str = "run report") -> str:
     """Render the full text report for one recorded run."""
     sections = [f"{title}\n{'=' * len(title)}"]
 
+    for span in spans:
+        # One header line per fit: input size and the resolved Phase II
+        # kernel backend, so a report is self-describing about which
+        # code path produced its phase timings.
+        if span.kind == "fit" and "kernel" in span.annotations:
+            notes = span.annotations
+            sections.append(
+                f"fit: n={notes.get('n')} dim={notes.get('dim')} "
+                f"kernel={notes.get('kernel')}"
+            )
+
     rows = _phase_rows(spans)
     if rows:
         sections.append(

@@ -13,6 +13,7 @@ __all__ = [
     "euclidean",
     "squared_distances",
     "pairwise_distances",
+    "seq_squared_distances",
     "points_within",
     "count_within",
 ]
@@ -62,6 +63,36 @@ def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     sq = a_sq + b_sq - 2.0 * (a @ b.T)
     np.maximum(sq, 0.0, out=sq)
     return np.sqrt(sq)
+
+
+def seq_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise *squared* distances with a bit-reproducible summation.
+
+    Accumulates one dimension at a time:
+    ``d2 = ((0 + diff_0^2) + diff_1^2) + ...`` — each element of the
+    result undergoes exactly the scalar operation sequence
+    ``acc += (a[i, k] - b[j, k])**2`` for ``k = 0..d-1``.  IEEE 754
+    elementwise operations are exactly rounded, so this matches a plain
+    scalar loop (and therefore the compiled Phase II kernels, which run
+    that loop) to the bit.  The BLAS expansion used by
+    :func:`pairwise_distances` does not have this property: its dot
+    products may reorder and fuse, drifting by ulps near a threshold.
+
+    This is the distance backbone of the (eps, rho)-region query's
+    ``within`` decision; the ``kernel={numpy,numba}`` bit-identity
+    contract rests on both backends sharing this exact sequence.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("seq_squared_distances expects 2-d arrays")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("seq_squared_distances expects matching dimensions")
+    d2 = np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
+    for k in range(a.shape[1]):
+        diff = a[:, k, None] - b[None, :, k]
+        d2 += diff * diff
+    return d2
 
 
 def points_within(points: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:

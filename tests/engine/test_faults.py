@@ -27,6 +27,7 @@ from repro.engine import (
     PhaseTimeoutError,
     TaskFailedError,
 )
+from repro.kernels import HAVE_NUMBA
 
 # ----------------------------------------------------------------------
 # Picklable task functions (process mode requires module-level defs).
@@ -462,3 +463,93 @@ class TestChaosFitAcceptance:
             eps=0.3, min_pts=10, num_partitions=6, seed=0, engine=engine
         ).fit(two_blobs)
         np.testing.assert_array_equal(chaos.labels, serial.labels)
+
+
+class TestChaosKernelAxis:
+    """The chaos acceptance tests along the Phase II kernel axis.
+
+    Crashes/timeouts during the kernel-executed Phase II must recover
+    bit-identical to the fault-free serial numpy fit, and a respawned
+    pool must re-warm the kernel: the engine re-ships the broadcast
+    (with the Phase II warm-up hook) to every fresh pool, so the
+    fresh workers JIT-compile under the setup bucket before taking
+    tasks.  The ``python`` backend (the uncompiled kernel source) runs
+    everywhere; the ``numba`` parametrization skips without numba.
+    """
+
+    KERNELS_UNDER_CHAOS = [
+        "python",
+        pytest.param(
+            "numba",
+            marks=pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed"),
+        ),
+    ]
+
+    @pytest.mark.parametrize("kernel", KERNELS_UNDER_CHAOS)
+    def test_fit_under_chaos_recovers_bit_identical(self, two_blobs, kernel):
+        serial = RPDBSCAN(
+            eps=0.3, min_pts=10, num_partitions=6, seed=0, kernel="numpy"
+        ).fit(two_blobs)
+        policy = FaultPolicy(
+            max_retries=8,
+            backoff_base_s=0.01,
+            backoff_max_s=0.1,
+            task_timeout_s=2.0,
+            max_respawns=20,
+            speculative=False,
+            injector=FaultInjector(crash_prob=0.06, exception_prob=0.12, seed=1),
+        )
+        with Engine("process", num_workers=2, fault_policy=policy) as engine:
+            chaos = RPDBSCAN(
+                eps=0.3,
+                min_pts=10,
+                num_partitions=6,
+                seed=0,
+                engine=engine,
+                kernel=kernel,
+            ).fit(two_blobs)
+
+        np.testing.assert_array_equal(chaos.labels, serial.labels)
+        np.testing.assert_array_equal(chaos.core_mask, serial.core_mask)
+        assert chaos.kernel == kernel
+
+        # Same seed-1 fault table as TestChaosFitAcceptance: the crash
+        # (respawn) and exception (retry) classes both fired, and every
+        # recovery stayed out of the phase buckets.
+        events = chaos.fault_events
+        assert events.get(FAULT_RETRIES, 0) >= 1
+        assert events.get(FAULT_RESPAWNS, 0) >= 1
+        assert set(chaos.counters.phase_seconds) <= set(PHASES)
+
+        # Re-warm happened: the initial ship plus one per respawn all
+        # ran the warm-up hook under the setup bucket.
+        assert "warmup" in chaos.counters.setup_seconds
+        assert engine.broadcast_ships >= 2
+
+    @pytest.mark.parametrize("kernel", KERNELS_UNDER_CHAOS)
+    def test_phase2_timeout_recovers_bit_identical(self, two_blobs, kernel):
+        # A 1 s injected delay against a 0.4 s task timeout: the Phase II
+        # attempt times out mid-kernel, the retry lands clean.
+        serial = RPDBSCAN(
+            eps=0.3, min_pts=10, num_partitions=6, seed=0, kernel="numpy"
+        ).fit(two_blobs)
+        policy = FaultPolicy(
+            max_retries=8,
+            backoff_base_s=0.01,
+            backoff_max_s=0.1,
+            task_timeout_s=0.4,
+            max_respawns=20,
+            speculative=False,
+            injector=FaultInjector(delay_prob=0.06, delay_s=1.0, seed=1),
+        )
+        with Engine("process", num_workers=2, fault_policy=policy) as engine:
+            chaos = RPDBSCAN(
+                eps=0.3,
+                min_pts=10,
+                num_partitions=6,
+                seed=0,
+                engine=engine,
+                kernel=kernel,
+            ).fit(two_blobs)
+        np.testing.assert_array_equal(chaos.labels, serial.labels)
+        assert chaos.fault_events.get(FAULT_TIMEOUTS, 0) >= 1

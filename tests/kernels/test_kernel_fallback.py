@@ -1,0 +1,127 @@
+"""The no-numba environment: fallback, clear errors, clean skips.
+
+``kernel="auto"`` must silently fall back to numpy; an explicit
+``kernel="numba"`` must raise a clear error naming the missing extra
+(everywhere: resolve, model constructor, engine, CLI); and the kernel
+suite must *skip* — not fail — where numba is absent (exercised by the
+skip markers in the sibling modules; pinned structurally here).
+
+Availability is simulated by monkeypatching ``phase2.HAVE_NUMBA``:
+:func:`repro.kernels.resolve_kernel` re-reads it through the module on
+every call, so these tests run identically with and without numba
+installed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.region_query import RegionQueryEngine
+from repro.core.rp_dbscan import RPDBSCAN
+from repro.kernels import (
+    KERNELS,
+    KernelUnavailableError,
+    phase2,
+    resolve_kernel,
+)
+
+
+@pytest.fixture
+def no_numba(monkeypatch):
+    monkeypatch.setattr(phase2, "HAVE_NUMBA", False)
+
+
+@pytest.fixture
+def fake_numba(monkeypatch):
+    monkeypatch.setattr(phase2, "HAVE_NUMBA", True)
+
+
+class TestResolveKernel:
+    def test_auto_falls_back_silently(self, no_numba):
+        assert resolve_kernel("auto") == "numpy"
+
+    def test_auto_prefers_numba_when_available(self, fake_numba):
+        assert resolve_kernel("auto") == "numba"
+
+    def test_numpy_and_python_always_resolve(self, no_numba):
+        assert resolve_kernel("numpy") == "numpy"
+        assert resolve_kernel("python") == "python"
+
+    def test_explicit_numba_raises_naming_the_extra(self, no_numba):
+        with pytest.raises(KernelUnavailableError) as excinfo:
+            resolve_kernel("numba")
+        message = str(excinfo.value)
+        assert "kernels" in message  # the optional extra's name
+        assert "numba>=0.59" in message  # what it installs
+        assert "auto" in message  # the escape hatch
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            resolve_kernel("cuda")
+
+    def test_cli_choices_cover_public_kernels(self):
+        assert KERNELS == ("auto", "numpy", "numba")
+
+
+class TestModelConstruction:
+    def test_model_auto_resolves_to_numpy(self, no_numba):
+        model = RPDBSCAN(eps=0.3, min_pts=5, kernel="auto")
+        assert model.kernel == "numpy"
+
+    def test_model_explicit_numba_fails_fast(self, no_numba):
+        # The constructor raises (not a worker mid-fit).
+        with pytest.raises(KernelUnavailableError, match="kernels"):
+            RPDBSCAN(eps=0.3, min_pts=5, kernel="numba")
+
+    def test_engine_explicit_numba_fails_fast(self, no_numba, two_blobs):
+        from repro.core.cells import CellGeometry
+        from repro.core.dictionary import FlatCellDictionary
+
+        geometry = CellGeometry(0.3, 2, 0.01)
+        dictionary = FlatCellDictionary.from_points(two_blobs, geometry)
+        with pytest.raises(KernelUnavailableError):
+            RegionQueryEngine(dictionary, kernel="numba")
+
+    def test_auto_fit_bit_identical_to_numpy(self, no_numba, two_blobs):
+        kwargs = dict(eps=0.3, min_pts=10, num_partitions=4, seed=0)
+        auto = RPDBSCAN(kernel="auto", **kwargs).fit(two_blobs)
+        ref = RPDBSCAN(kernel="numpy", **kwargs).fit(two_blobs)
+        assert auto.kernel == "numpy"
+        np.testing.assert_array_equal(auto.labels, ref.labels)
+        np.testing.assert_array_equal(auto.core_mask, ref.core_mask)
+
+    def test_warmup_is_noop_without_numba(self, no_numba):
+        # kernel="python" has no JIT; warm-up must report zero seconds.
+        assert phase2.warmup(2) == 0.0
+
+
+class TestCLI:
+    def _write_points(self, tmp_path):
+        path = tmp_path / "points.npy"
+        rng = np.random.default_rng(0)
+        np.save(path, rng.normal(size=(200, 2)))
+        return str(path)
+
+    def test_cluster_numba_unavailable_is_clean_error(
+        self, no_numba, tmp_path, capsys
+    ):
+        path = self._write_points(tmp_path)
+        code = main(
+            ["cluster", path, "--eps", "0.4", "--min-pts", "5", "--kernel", "numba"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "kernels" in captured.err
+        assert "numba" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_cluster_auto_falls_back_and_reports_kernel(
+        self, no_numba, tmp_path, capsys
+    ):
+        path = self._write_points(tmp_path)
+        code = main(
+            ["cluster", path, "--eps", "0.4", "--min-pts", "5", "--kernel", "auto"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "kernel=numpy" in captured.out
