@@ -7,6 +7,8 @@ queries, union-find merging, and the full RP-DBSCAN pipeline at a small
 fixed size.  Useful as a regression baseline when optimizing.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -79,3 +81,89 @@ def test_micro_rp_dbscan_end_to_end(benchmark, points):
     benchmark.pedantic(
         lambda: RPDBSCAN(0.2, 15, 8, seed=0).fit(points), rounds=3, iterations=1
     )
+
+
+# ----------------------------------------------------------------------
+# Executor substrates: serial vs process pool vs remote loopback
+# ----------------------------------------------------------------------
+
+#: Remote loopback (2 nodes x 2 workers, TCP broadcast + dispatch) may
+#: cost at most this factor over the process pool (4 workers, shm/pickle
+#: broadcast) on the same 50k fit.  Localhost TCP is not free — pickled
+#: task blobs and the per-node broadcast ship ride the wire — but if the
+#: substrate costs more than half again the pool's wall, its framing or
+#: scheduling has regressed.
+REMOTE_TOLERANCE = 1.5
+
+SUBSTRATE_POINTS = 50_000
+SUBSTRATE_EPS = 0.2
+SUBSTRATE_MIN_PTS = 20
+SUBSTRATE_PARTITIONS = 8
+
+
+def _substrate_fit(points, engine=None):
+    started = time.perf_counter()
+    result = RPDBSCAN(
+        SUBSTRATE_EPS, SUBSTRATE_MIN_PTS, SUBSTRATE_PARTITIONS,
+        seed=0, engine=engine,
+    ).fit(points)
+    return time.perf_counter() - started, result
+
+
+def run_substrate_experiment():
+    from common import bench_dataset, publish
+
+    from repro.bench.reporting import format_table
+    from repro.engine import Engine, loopback_nodes
+
+    points = bench_dataset("GeoLife", SUBSTRATE_POINTS)
+
+    serial_s, serial = _substrate_fit(points)
+
+    with Engine("process", num_workers=4) as engine:
+        process_s, process = _substrate_fit(points, engine)
+
+    with loopback_nodes(num_nodes=2, workers=2) as addrs:
+        with Engine("remote", nodes=addrs) as engine:
+            remote_s, remote = _substrate_fit(points, engine)
+            ledger = engine.node_ledger()
+
+    assert np.array_equal(process.labels, serial.labels)
+    assert np.array_equal(remote.labels, serial.labels)
+
+    rows = [
+        ["serial", "1", f"{serial_s:.3f}s", "1.00x"],
+        ["process", "4", f"{process_s:.3f}s", f"{process_s / serial_s:.2f}x"],
+        ["remote loopback", "2x2", f"{remote_s:.3f}s",
+         f"{remote_s / serial_s:.2f}x"],
+    ]
+    publish(
+        "micro_substrates",
+        format_table(
+            ["substrate", "workers", "wall", "vs serial"],
+            rows,
+            title=(
+                f"Executor substrates (GeoLife {SUBSTRATE_POINTS}, "
+                f"eps={SUBSTRATE_EPS}, minPts={SUBSTRATE_MIN_PTS}, "
+                f"k={SUBSTRATE_PARTITIONS}; labels bit-identical; "
+                f"remote ships/node="
+                f"{[row['ships'] for row in ledger]})"
+            ),
+        ),
+    )
+    return {
+        "serial_s": serial_s,
+        "process_s": process_s,
+        "remote_s": remote_s,
+        "ships": [row["ships"] for row in ledger],
+    }
+
+
+def test_micro_executor_substrates(benchmark):
+    from common import run_once
+
+    out = run_once(benchmark, run_substrate_experiment)
+    # One broadcast fan-out per node per epoch, however the wall falls.
+    assert all(ships >= 1 for ships in out["ships"])
+    # The distributed substrate must stay within tolerance of the pool.
+    assert out["remote_s"] <= out["process_s"] * REMOTE_TOLERANCE

@@ -91,12 +91,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _fault_policy_from_args(args: argparse.Namespace) -> FaultPolicy | None:
     """Build the opt-in fault policy the CLI flags describe (or None)."""
     injector = None
-    if args.chaos_crash or args.chaos_delay or args.chaos_exception:
+    node_chaos = (
+        getattr(args, "chaos_node_crash", 0.0)
+        or getattr(args, "chaos_node_delay", 0.0)
+        or getattr(args, "chaos_node_drop", 0.0)
+    )
+    if args.chaos_crash or args.chaos_delay or args.chaos_exception or node_chaos:
         injector = FaultInjector(
             crash_prob=args.chaos_crash,
             delay_prob=args.chaos_delay,
             exception_prob=args.chaos_exception,
             delay_s=args.chaos_delay_s,
+            node_crash_prob=getattr(args, "chaos_node_crash", 0.0),
+            node_delay_prob=getattr(args, "chaos_node_delay", 0.0),
+            node_drop_prob=getattr(args, "chaos_node_drop", 0.0),
             seed=args.chaos_seed,
         )
     if args.max_retries is None and args.task_timeout is None and injector is None:
@@ -120,14 +128,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     # to process startup) so the fault ledger can show wall-clock
     # respawn times even when no --trace file was requested.
     tracer = Tracer()
-    engine = Engine(
-        args.engine,
-        num_workers=args.workers,
-        fault_policy=_fault_policy_from_args(args),
-        tracer=tracer,
-        profile=bool(args.profile),
-        broadcast_channel=args.broadcast,
-    )
+    nodes = [a for a in args.nodes.split(",") if a] if args.nodes else None
+    try:
+        engine = Engine(
+            args.engine,
+            num_workers=args.workers,
+            fault_policy=_fault_policy_from_args(args),
+            tracer=tracer,
+            profile=bool(args.profile),
+            broadcast_channel=args.broadcast,
+            nodes=nodes,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         try:
             model = RPDBSCAN(
@@ -188,6 +203,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"budget={driver['budget_bytes']}B peak={peak}B "
             f"evictions={evictions}"
         )
+    if result.node_ledger:
+        for row in result.node_ledger:
+            status = "up" if row["alive"] else "down"
+            print(
+                f"  node {row['node']} ({row['addr']}): "
+                f"workers={row['workers']} tasks={row['tasks']} "
+                f"ships={row['ships']} shipped={row['bytes_shipped']}B "
+                f"deaths={row['deaths']} rejoins={row['rejoins']} [{status}]"
+            )
     if result.fault_events:
         events = " ".join(
             f"{kind}={count}" for kind, count in sorted(result.fault_events.items())
@@ -294,12 +318,29 @@ def build_parser() -> argparse.ArgumentParser:
     engine_group = cluster.add_argument_group("execution engine")
     engine_group.add_argument(
         "--engine",
-        choices=("serial", "process"),
+        "--executor",
+        dest="engine",
+        choices=("serial", "process", "remote"),
         default="serial",
-        help="task executor (default: serial)",
+        help="task executor (default: serial); remote dispatches to node "
+        "agents named by --nodes",
     )
     engine_group.add_argument(
-        "--workers", type=int, default=None, help="process-mode worker count"
+        "--workers", type=int, default=None,
+        help="process-mode worker count (remote mode sizes pools per node "
+        "via each agent's --workers)",
+    )
+    engine_group.add_argument(
+        "--nodes",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="remote-executor node agents (comma separated), each running "
+        "`python -m repro.node`",
+    )
+    engine_group.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0,
+        help="remote mode: seconds of node silence before the driver "
+        "declares it dead and reschedules its in-flight tasks",
     )
     engine_group.add_argument(
         "--broadcast",
@@ -378,6 +419,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_group.add_argument(
         "--chaos-delay-s", type=float, default=0.1,
         help="injected delay duration in seconds",
+    )
+    chaos_group.add_argument(
+        "--chaos-node-crash", type=float, default=0.0,
+        help="remote mode: probability a node crashes mid-phase "
+        "(terminates its agent process)",
+    )
+    chaos_group.add_argument(
+        "--chaos-node-delay", type=float, default=0.0,
+        help="remote mode: probability a node delays its first dispatch "
+        "of a phase",
+    )
+    chaos_group.add_argument(
+        "--chaos-node-drop", type=float, default=0.0,
+        help="remote mode: probability a node drops its driver connection "
+        "once per phase",
     )
     chaos_group.add_argument(
         "--chaos-seed", type=int, default=0, help="fault-injection seed"

@@ -216,9 +216,10 @@ def resolve_merge_mode(
     """Resolve ``merge_mode`` to the executed mode (the auto cost model).
 
     ``auto`` picks the engine only when it can actually parallelize
-    (process mode) and the workload is big enough that per-match compute
-    can amortize payload shipping: at least :data:`AUTO_MIN_GRAPHS`
-    subgraphs carrying at least :data:`AUTO_MIN_EDGES` edges in total.
+    (process or remote mode) and the workload is big enough that
+    per-match compute can amortize payload shipping: at least
+    :data:`AUTO_MIN_GRAPHS` subgraphs carrying at least
+    :data:`AUTO_MIN_EDGES` edges in total.
     """
     if merge_mode not in MERGE_MODES:
         raise ValueError(
@@ -230,7 +231,7 @@ def resolve_merge_mode(
         if engine is None:
             raise ValueError("merge_mode='engine' requires an engine")
         return "engine"
-    if engine is None or engine.mode != "process":
+    if engine is None or engine.mode not in ("process", "remote"):
         return "driver"
     if len(subgraphs) < AUTO_MIN_GRAPHS:
         return "driver"

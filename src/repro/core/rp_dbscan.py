@@ -201,6 +201,10 @@ class RPDBSCANResult:
     #: the per-worker ledgers gathered after Phase II.  ``None`` for
     #: full-broadcast runs.
     broadcast_residency: dict | None = None
+    #: Remote mode only: per-node counters (ships, bytes, tasks, deaths,
+    #: rejoins) from the cluster at the end of the run.  ``None`` for
+    #: serial/process runs.
+    node_ledger: list[dict] | None = None
 
     @property
     def noise_count(self) -> int:
@@ -680,6 +684,7 @@ class RPDBSCAN:
             global_graph=global_graph,
             subdict_stats=subdict_stats,
             broadcast_residency=broadcast_residency,
+            node_ledger=self.engine.node_ledger(),
         )
 
     def fit_predict(self, points: np.ndarray | PointSource) -> np.ndarray:

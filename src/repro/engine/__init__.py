@@ -17,6 +17,18 @@ provided by a small engine with two executors:
   startup, broadcast shipping, warm-up) is accounted in a dedicated
   ``engine.setup`` counter bucket, excluded from phase breakdowns.
 
+* ``remote``: a multi-node distributed substrate.  The driver speaks a
+  length-prefixed TCP frame protocol (:mod:`repro.engine.remote`) to
+  per-machine node agents (``python -m repro.node``), each fronting its
+  own local persistent process pool.  Broadcasts ship **once per node
+  per epoch** over the wire; each agent re-hoists the value through its
+  local shm channel so workers attach node-locally, zero-copy.  Under
+  a :class:`~repro.engine.faults.FaultPolicy` the same recovery loop
+  that absorbs worker death absorbs *node* death (missed heartbeats or
+  a dropped connection): only the dead node's in-flight attempts are
+  rescheduled on survivors, and a reconnecting node is re-equipped with
+  the current broadcast before receiving work again.
+
 Fault tolerance is opt-in: construct the engine with a
 :class:`~repro.engine.faults.FaultPolicy` to get per-task retries with
 exponential backoff, task/phase timeouts, automatic pool re-spawn after
@@ -57,6 +69,13 @@ from repro.engine.faults import (
 )
 from repro.engine.simulate import PhaseSchedule, makespan, speedup_curve
 
+from repro.engine.remote import (
+    NodeDeathError,
+    RemoteCluster,
+    RemoteTaskLostError,
+    loopback_nodes,
+)
+
 # Imported after executors: shm depends on repro.core, whose orchestrator
 # imports repro.engine.executors back — this ordering keeps the cycle
 # resolvable from either entry point.
@@ -79,6 +98,10 @@ __all__ = [
     "FAULT_TIMEOUTS",
     "FAULT_RESPAWNS",
     "FAULT_SPECULATIONS",
+    "RemoteCluster",
+    "NodeDeathError",
+    "RemoteTaskLostError",
+    "loopback_nodes",
     "makespan",
     "speedup_curve",
     "PhaseSchedule",

@@ -89,6 +89,7 @@ from repro.engine.faults import (
     StaleBroadcastError,
     TaskFailedError,
 )
+from repro.engine.remote.cluster import NodeDeathError, RemoteTaskLostError
 
 __all__ = ["Engine"]
 
@@ -254,6 +255,289 @@ class _Flight:
     submitted_at: float
     async_result: Any
     timed_out: bool = False
+    #: Remote substrate only: the :class:`RemoteNode` running the attempt.
+    node: Any = None
+
+
+class _ProcessSubstrate:
+    """The recovery loop's view of the local process pool.
+
+    The loop itself is substrate-agnostic: it launches attempts, reaps
+    completions, retries, times out, speculates.  What varies between a
+    local pool and a node cluster is *where* attempts run, *what* a
+    capacity slot is, *how* infrastructure death manifests, and *which*
+    flights one death invalidates — exactly the surface these two
+    substrate classes carry.
+
+    For the pool: capacity is ``num_workers``, damage is
+    ``_pool_damaged()`` (a worker died or was silently replaced), one
+    damage event invalidates **every** flight (``loss_scope="pool"``),
+    and recovery is a full pool re-spawn with a broadcast re-ship under
+    a fresh epoch.
+    """
+
+    kind = "process"
+    #: One damage event invalidates every in-flight attempt.
+    loss_scope = "pool"
+
+    def __init__(
+        self,
+        engine: "Engine",
+        broadcast: Any,
+        wants_broadcast: bool,
+        warmup: Callable[[Any], Any] | None,
+    ) -> None:
+        self.engine = engine
+        self.broadcast = broadcast
+        self.wants_broadcast = wants_broadcast
+        self.warmup = warmup
+
+    @property
+    def epoch(self) -> int | None:
+        return self.engine._shipped_epoch if self.wants_broadcast else None
+
+    def has_slot(self, n_inflight: int) -> bool:
+        return n_inflight < self.engine.num_workers
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        task_id: int,
+        task: Any,
+        attempt: int,
+        phase: str,
+        injector: FaultInjector | None,
+        profile: bool,
+    ) -> _Flight | None:
+        payload = (fn, task_id, task, self.epoch, phase, attempt, injector, profile)
+        return _Flight(
+            task_id,
+            attempt,
+            time.perf_counter(),
+            self.engine._pool.apply_async(_run_task, (payload,)),
+        )
+
+    def damage_events(self) -> list[tuple[Any, str]]:
+        """Newly detected infrastructure deaths: ``(node, reason)``
+        pairs (``node`` is ``None`` for the local pool)."""
+        if self.engine._pool_damaged():
+            return [(None, "a worker process died")]
+        return []
+
+    def maintain(self) -> float:
+        """Periodic upkeep; returns setup seconds to exclude from the
+        phase timer (the pool needs none)."""
+        return 0.0
+
+    def lost_flights(self, flights: list[_Flight], node: Any) -> list[_Flight]:
+        return list(flights)
+
+    def recover(self, reason: str) -> None:
+        engine = self.engine
+        with engine.counters.timed_setup("respawn_teardown"):
+            # Keep the segments: the broadcast value is unchanged, so
+            # the replacement workers re-attach what already exists.
+            engine._teardown_pool(keep_segments=True)
+        engine._ensure_pool()
+        if self.wants_broadcast:
+            engine._ship_broadcast(self.broadcast, self.warmup)
+
+    def release(self, flight: _Flight) -> None:
+        pass
+
+    def worker_label(self, flight: _Flight, pid: int) -> int | str:
+        return pid
+
+    def flight_annotations(self, flight: _Flight) -> dict[str, Any]:
+        return {}
+
+    def attempt_window(
+        self, flight: _Flight, start_ts: float | None, elapsed: float
+    ) -> tuple[float, float]:
+        # Worker perf_counter is CLOCK_MONOTONIC on Linux — same axis
+        # as the driver's, so the reported window is used directly.
+        return start_ts, start_ts + elapsed
+
+    def exhausted_message(self, budget: int, phase: str, reason: str) -> str:
+        return (
+            f"pool re-spawn budget ({budget}) exhausted "
+            f"during phase {phase!r}: {reason}"
+        )
+
+
+class _RemoteSubstrate:
+    """The recovery loop's view of a node cluster.
+
+    Capacity is per-node (a node contributes ``workers`` slots while it
+    holds the current broadcast epoch), damage is node death (missed
+    heartbeats or a dropped connection), one death invalidates only
+    **that node's** flights (``loss_scope="node"`` — the survivors keep
+    computing), and recovery is re-shipping the current epoch to nodes
+    that rejoin.  fn and tasks cross the wire pickled per attempt; the
+    fn blob is cached since every attempt of a phase shares it.
+    """
+
+    kind = "remote"
+    loss_scope = "node"
+
+    def __init__(
+        self,
+        engine: "Engine",
+        broadcast: Any,
+        wants_broadcast: bool,
+        warmup: Callable[[Any], Any] | None,
+    ) -> None:
+        self.engine = engine
+        self.cluster = engine._cluster
+        self.broadcast = broadcast
+        self.wants_broadcast = wants_broadcast
+        self.warmup = warmup
+        self._fn: Any = _NOTHING
+        self._fn_blob: bytes | None = None
+        #: node_id -> attempts currently on that node (driver view).
+        self.inflight: dict[int, int] = {}
+        self._all_dead_since: float | None = None
+
+    @property
+    def epoch(self) -> int | None:
+        return self.engine._shipped_epoch if self.wants_broadcast else None
+
+    def _eligible_nodes(self) -> list[Any]:
+        epoch = self.epoch
+        return [
+            node
+            for node in self.cluster.alive_nodes()
+            if epoch is None or node.shipped_epoch == epoch
+        ]
+
+    def _pick_node(self) -> Any:
+        """Least-loaded eligible node with a free slot, or ``None``."""
+        best = None
+        best_load = None
+        for node in self._eligible_nodes():
+            load = self.inflight.get(node.node_id, 0)
+            if load >= node.workers:
+                continue
+            if best is None or load / node.workers < best_load:
+                best = node
+                best_load = load / node.workers
+        return best
+
+    def has_slot(self, n_inflight: int) -> bool:
+        return self._pick_node() is not None
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        task_id: int,
+        task: Any,
+        attempt: int,
+        phase: str,
+        injector: FaultInjector | None,
+        profile: bool,
+    ) -> _Flight | None:
+        node = self._pick_node()
+        if node is None:
+            return None
+        if fn is not self._fn:
+            self._fn = fn
+            self._fn_blob = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+        result = self.cluster.submit(
+            node,
+            task_id=task_id,
+            attempt=attempt,
+            epoch=self.epoch,
+            phase=phase,
+            fn_blob=self._fn_blob,
+            task_blob=pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL),
+            injector=injector,
+            profile=profile,
+        )
+        self.inflight[node.node_id] = self.inflight.get(node.node_id, 0) + 1
+        return _Flight(
+            task_id, attempt, time.perf_counter(), result, node=node
+        )
+
+    def damage_events(self) -> list[tuple[Any, str]]:
+        return [
+            (node, f"node {node.label} ({node.addr}) died: {reason}")
+            for node, reason in self.cluster.take_death_events()
+        ]
+
+    def maintain(self) -> float:
+        """Re-equip rejoined nodes (ship the current epoch) and watch
+        for total cluster loss; returns the setup seconds spent."""
+        rejoined = self.cluster.take_rejoined()
+        setup_s = 0.0
+        if rejoined:
+            start = time.perf_counter()
+            for node in rejoined:
+                self.inflight[node.node_id] = 0
+                self.engine.tracer.event(
+                    "node_rejoin", annotations={"node": node.label}
+                )
+            if self.wants_broadcast:
+                try:
+                    self.engine._ship_broadcast_remote(
+                        self.broadcast, self.warmup, nodes=rejoined
+                    )
+                except NodeDeathError:
+                    # The rejoined node died again mid-re-equip; its
+                    # fresh death event does the accounting.
+                    pass
+            setup_s = time.perf_counter() - start
+        if self.cluster.alive_nodes():
+            self._all_dead_since = None
+        else:
+            now = time.perf_counter()
+            if self._all_dead_since is None:
+                self._all_dead_since = now
+            grace = (
+                self.cluster.connect_timeout_s
+                if self.cluster.reconnect
+                else 0.0
+            )
+            if now - self._all_dead_since > grace:
+                raise TaskFailedError(
+                    "every node of the remote cluster died and none rejoined"
+                )
+        return setup_s
+
+    def lost_flights(self, flights: list[_Flight], node: Any) -> list[_Flight]:
+        return [f for f in flights if f.node is node]
+
+    def recover(self, reason: str) -> None:
+        # Nothing to rebuild driver-side: the dead node's flights were
+        # failed by the cluster, the survivors keep their epoch, and a
+        # rejoin is re-equipped by maintain().
+        return None
+
+    def release(self, flight: _Flight) -> None:
+        node_id = flight.node.node_id
+        count = self.inflight.get(node_id, 0)
+        if count > 0:
+            self.inflight[node_id] = count - 1
+
+    def worker_label(self, flight: _Flight, pid: int) -> int | str:
+        return f"{flight.node.label}:{pid}"
+
+    def flight_annotations(self, flight: _Flight) -> dict[str, Any]:
+        return {"node": flight.node.label}
+
+    def attempt_window(
+        self, flight: _Flight, start_ts: float | None, elapsed: float
+    ) -> tuple[float, float]:
+        # Node clocks are not comparable to the driver's; place the
+        # attempt by its driver-side completion, sized by the
+        # node-reported compute time.
+        now = time.perf_counter()
+        return now - elapsed, now
+
+    def exhausted_message(self, budget: int, phase: str, reason: str) -> str:
+        return (
+            f"node-loss budget (max_respawns={budget}) exhausted "
+            f"during phase {phase!r}: {reason}"
+        )
 
 
 class Engine:
@@ -331,19 +615,43 @@ class Engine:
         tracer: Tracer | None = None,
         profile: bool = False,
         broadcast_channel: str = "auto",
+        executor: str | None = None,
+        nodes: Sequence[str] | None = None,
+        heartbeat_timeout_s: float = 10.0,
     ) -> None:
-        if mode not in ("serial", "process"):
+        if executor is not None:
+            mode = executor
+        if mode not in ("serial", "process", "remote"):
             raise ValueError(f"unknown engine mode {mode!r}")
         if broadcast_channel not in ("auto", "pickle", "shm"):
             raise ValueError(
                 f"unknown broadcast channel {broadcast_channel!r}; "
                 "choose 'auto', 'pickle', or 'shm'"
             )
+        if mode == "remote":
+            if not nodes:
+                raise ValueError(
+                    "remote mode needs nodes=['host:port', ...] "
+                    "(running `python -m repro.node` agents)"
+                )
+            if num_workers is not None:
+                raise ValueError(
+                    "num_workers is per-node in remote mode; configure it "
+                    "on each agent's --workers instead"
+                )
         self.mode = mode
+        self.nodes = list(nodes) if nodes else None
+        self.heartbeat_timeout_s = heartbeat_timeout_s
         self.broadcast_channel = broadcast_channel
         if num_workers is not None and num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        self.num_workers = num_workers if num_workers is not None else _default_workers()
+        if mode == "remote":
+            # Resolved at connect time: the sum of the agents' slots.
+            self.num_workers = 0
+        else:
+            self.num_workers = (
+                num_workers if num_workers is not None else _default_workers()
+            )
         self.counters = counters if counters is not None else Counters()
         self.start_method = start_method if start_method is not None else _default_start_method()
         self.fault_policy = fault_policy
@@ -358,6 +666,10 @@ class Engine:
         self._shipped_broadcast: Any = _NOTHING
         self._shipped_epoch = 0
         self._closed = False
+        # Remote-cluster state (mode == "remote").
+        self._cluster: Any = None
+        self._remote_value_blob: bytes | None = None
+        self._remote_warmup_blob: bytes | None = None
         # Serial-mode warm-up dedup (same identity semantics as shipping).
         self._warmed_broadcast: Any = _NOTHING
         #: Live shared-memory segments this driver created (shm channel);
@@ -391,13 +703,31 @@ class Engine:
     def close(self) -> None:
         """Shut down the engine; idempotent, safe to call at any time.
 
-        Uses ``terminate`` rather than a graceful ``close``/``join`` so
-        that closing cannot hang on workers stuck in a crashed or
-        abandoned phase.  After ``close()`` the engine refuses new work
+        Teardown ordering matters when tasks are still in flight (a
+        mid-phase close from another thread):
+
+        1. ``_closed`` flips first, so any concurrent recovery loop
+           that tries to re-spawn raises
+           :class:`~repro.engine.faults.EngineClosedError` instead of
+           resurrecting infrastructure behind the close.
+        2. Flights are cancelled: the remote cluster fails its pending
+           futures and hangs up — node agents are *not* told to exit
+           (they are services owned by whoever started them, and stay
+           available for the next driver); the local pool is
+           ``terminate``\\ d (not gracefully joined, so closing cannot
+           hang on workers stuck in a crashed phase).
+        3. Only then are the driver's shared-memory segments unlinked —
+           after no worker can still be mapping them, so a mid-phase
+           close leaks nothing into ``/dev/shm``.
+
+        After ``close()`` the engine refuses new work
         (:class:`~repro.engine.faults.EngineClosedError`) — callers that
         want more parallel maps should build a fresh :class:`Engine`.
         """
         self._closed = True
+        cluster, self._cluster = self._cluster, None
+        if cluster is not None:
+            cluster.close(shutdown_agents=False)
         self._teardown_pool()
 
     def _teardown_pool(self, *, keep_segments: bool = False) -> None:
@@ -439,12 +769,23 @@ class Engine:
                 pool.terminate()
             except Exception:
                 pass
+        cluster = getattr(self, "_cluster", None)
+        if cluster is not None:
+            try:
+                cluster.close()
+            except Exception:
+                pass
         try:
             self._destroy_segments()
         except Exception:
             pass
 
     def _ensure_pool(self) -> Any:
+        if self._closed:
+            # A concurrent close() mid-phase must not be answered by
+            # resurrecting the pool (and re-creating segments the close
+            # just unlinked) — fail the in-progress map instead.
+            raise EngineClosedError("engine closed while work was in flight")
         if self._pool is None:
             import multiprocessing as mp
 
@@ -492,6 +833,37 @@ class Engine:
     def broadcast_epoch(self) -> int:
         """Epoch of the broadcast currently installed in the pool."""
         return self._shipped_epoch
+
+    def _ensure_cluster(self) -> Any:
+        if self._closed:
+            raise EngineClosedError("engine closed while work was in flight")
+        if self._cluster is None:
+            from repro.engine.remote.cluster import RemoteCluster
+
+            injector = (
+                self.fault_policy.injector
+                if self.fault_policy is not None
+                else None
+            )
+            with self.counters.timed_setup("cluster_connect"), self.tracer.span(
+                "cluster_connect", "setup"
+            ):
+                cluster = RemoteCluster(
+                    self.nodes,
+                    injector=injector,
+                    heartbeat_timeout_s=self.heartbeat_timeout_s,
+                )
+                cluster.start()
+            self._cluster = cluster
+            self.num_workers = cluster.total_slots()
+            self.pools_created += 1
+        return self._cluster
+
+    def node_ledger(self) -> list[dict] | None:
+        """Per-node counters (remote mode); ``None`` otherwise."""
+        if self._cluster is None:
+            return None
+        return self._cluster.ledger()
 
     # ------------------------------------------------------------------
     # Mapping
@@ -560,6 +932,31 @@ class Engine:
         wants_broadcast = broadcast is not None
         label = trace_phase if trace_phase is not None else phase
         results: list[Any] = [None] * len(tasks)
+        if self.mode == "remote" and len(tasks) > 1:
+            # Setup (cluster connect + per-node broadcast shipping)
+            # happens OUTSIDE the phase timer, same as the pool path.
+            self._ensure_cluster()
+            if wants_broadcast:
+                self._ship_broadcast_remote(broadcast, warmup)
+            if self.fault_policy is not None:
+                return self._map_with_recovery(
+                    fn,
+                    tasks,
+                    substrate=_RemoteSubstrate(
+                        self, broadcast, wants_broadcast, warmup
+                    ),
+                    phase=label,
+                    counter_phase=phase,
+                    item_counter=item_counter,
+                )
+            return self._map_remote_fast(
+                fn,
+                tasks,
+                wants_broadcast=wants_broadcast,
+                phase=label,
+                counter_phase=phase,
+                item_counter=item_counter,
+            )
         if self.mode == "process" and len(tasks) > 1:
             # Setup (pool startup + broadcast shipping + warm-up) happens
             # OUTSIDE the phase timer: it is engine overhead, not work.
@@ -572,9 +969,9 @@ class Engine:
                 return self._map_with_recovery(
                     fn,
                     tasks,
-                    broadcast=broadcast,
-                    wants_broadcast=wants_broadcast,
-                    warmup=warmup,
+                    substrate=_ProcessSubstrate(
+                        self, broadcast, wants_broadcast, warmup
+                    ),
                     phase=label,
                     counter_phase=phase,
                     item_counter=item_counter,
@@ -634,16 +1031,23 @@ class Engine:
         end_s: float,
         worker: int | str,
         epoch: int | None,
+        node: str | None = None,
     ) -> None:
         """Record the task + single-attempt spans of a fast-path task.
 
-        The current tracer parent is the phase span (both call sites sit
+        The current tracer parent is the phase span (all call sites sit
         inside ``tracer.span(phase, ...)``), so the nesting comes out as
-        phase → task → attempt with one attempt per task.
+        phase → task → attempt with one attempt per task.  ``node``
+        annotates remote attempts with the node that ran them.
         """
         tracer = self.tracer
         if not tracer.enabled:
             return
+        annotations: dict[str, Any] = {
+            "compute_s": end_s - start_s, "winner": True,
+        }
+        if node is not None:
+            annotations["node"] = node
         task_span = tracer.record_span(
             f"task {task_id}", "task", start_s=start_s, end_s=end_s,
             phase=phase, task_id=task_id, worker=worker,
@@ -652,7 +1056,7 @@ class Engine:
             f"task {task_id}#0", "attempt", start_s=start_s, end_s=end_s,
             parent_id=task_span.span_id, phase=phase, task_id=task_id,
             attempt=0, worker=worker, epoch=epoch,
-            annotations={"compute_s": end_s - start_s, "winner": True},
+            annotations=annotations,
         )
 
     # ------------------------------------------------------------------
@@ -740,28 +1144,28 @@ class Engine:
         fn: Callable[..., Any],
         tasks: Sequence[Any],
         *,
-        broadcast: Any,
-        wants_broadcast: bool,
-        warmup: Callable[[Any], Any] | None,
+        substrate: Any,
         phase: str,
         counter_phase: str,
         item_counter: Callable[[Any], int] | None,
     ) -> list[Any]:
-        """The driver-side recovery loop (process mode, ``len(tasks) > 1``).
+        """The driver-side recovery loop (``len(tasks) > 1``).
 
-        Admission control keeps at most ``num_workers`` attempts in the
-        pool, so an attempt's age measures *execution* time, not
-        pool-queue time — without it, attempts queued behind a slow
-        worker would burn their retry budget before ever running.  The
-        loop then polls: reaps completions, retries failures with
-        backoff, abandons attempts that exceed the task timeout (the
-        abandoned attempt keeps racing its retry — first completion
-        wins — but holds its worker slot, since that worker really is
-        busy), re-spawns the pool when a worker died, and launches
-        speculative duplicates for stragglers on free slots.  Phase time
-        excludes re-spawn overhead, which is accounted as engine setup.
-        ``phase`` is the display/injector label (``trace_phase`` of
-        :meth:`map_tasks`); ``counter_phase`` is the counter bucket.
+        Admission control keeps at most one attempt per free slot of the
+        ``substrate`` (pool worker or remote node slot), so an attempt's
+        age measures *execution* time, not queue time — without it,
+        attempts queued behind a slow worker would burn their retry
+        budget before ever running.  The loop then polls: reaps
+        completions, retries failures with backoff, abandons attempts
+        that exceed the task timeout (the abandoned attempt keeps racing
+        its retry — first completion wins — but holds its slot, since
+        that slot really is busy), absorbs infrastructure loss (a pool
+        re-spawn invalidates every flight; a node death only that
+        node's), and launches speculative duplicates for stragglers on
+        free slots.  Phase time excludes recovery overhead, which is
+        accounted as engine setup.  ``phase`` is the display/injector
+        label (``trace_phase`` of :meth:`map_tasks`); ``counter_phase``
+        is the counter bucket.
         """
         policy = self.fault_policy
         injector = policy.injector
@@ -788,43 +1192,45 @@ class Engine:
         durations: list[float] = []
         completed = 0
         respawns = 0
-        epoch = self._shipped_epoch if wants_broadcast else None
+        epoch = substrate.epoch
         start = time.perf_counter()
-        recovery_setup = 0.0      # mid-phase respawn wall, accounted as setup
+        recovery_setup = 0.0      # mid-phase recovery wall, accounted as setup
 
         def launch_ready() -> bool:
-            """Fill free worker slots from the launch queue."""
+            """Fill free slots from the launch queue."""
             launched = False
-            while ready and len(flights) < self.num_workers:
+            while ready and substrate.has_slot(len(flights)):
                 task_id, kind = ready.popleft()
                 if done[task_id]:
                     continue
+                attempt = launches[task_id]
+                try:
+                    flight = substrate.submit(
+                        fn, task_id, tasks[task_id], attempt, phase,
+                        injector, self.profile,
+                    )
+                except NodeDeathError:
+                    flight = None
+                if flight is None:
+                    # The slot vanished under us (a node died between
+                    # the capacity check and the dispatch): requeue and
+                    # let the damage machinery catch up.
+                    ready.appendleft((task_id, kind))
+                    break
+                launches[task_id] += 1
                 if kind == "retry":
                     self.counters.add_fault_event(FAULT_RETRIES)
                     tracer.event(EVENT_RETRY, phase=phase, task_id=task_id)
                 elif kind == "speculation":
                     self.counters.add_fault_event(FAULT_SPECULATIONS)
                     tracer.event(EVENT_SPECULATION, phase=phase, task_id=task_id)
-                attempt = launches[task_id]
-                launches[task_id] += 1
                 if tracer.enabled and task_id not in task_spans:
                     task_spans[task_id] = tracer.start_span(
                         f"task {task_id}", "task", push=False,
                         parent_id=phase_span.span_id,
                         phase=phase, task_id=task_id,
                     )
-                payload = (
-                    fn, task_id, tasks[task_id], epoch, phase, attempt,
-                    injector, self.profile,
-                )
-                flights.append(
-                    _Flight(
-                        task_id,
-                        attempt,
-                        time.perf_counter(),
-                        self._pool.apply_async(_run_task, (payload,)),
-                    )
-                )
+                flights.append(flight)
                 launched = True
             return launched
 
@@ -866,6 +1272,7 @@ class Engine:
                 return
             if flight.timed_out:
                 annotations.setdefault("timed_out", True)
+            annotations.update(substrate.flight_annotations(flight))
             parent = task_spans.get(flight.task_id)
             tracer.record_span(
                 f"task {flight.task_id}#{flight.attempt}", "attempt",
@@ -875,36 +1282,58 @@ class Engine:
                 epoch=epoch, status=status, annotations=annotations,
             )
 
-        def respawn(reason: str) -> None:
-            nonlocal respawns, recovery_setup, epoch
+        def charge_respawn(reason: str) -> None:
+            """One unit of the infrastructure-loss budget + its events."""
+            nonlocal respawns
             respawns += 1
             if respawns > policy.max_respawns:
                 raise TaskFailedError(
-                    f"pool re-spawn budget ({policy.max_respawns}) exhausted "
-                    f"during phase {phase!r}: {reason}"
+                    substrate.exhausted_message(
+                        policy.max_respawns, phase, reason
+                    )
                 )
-            # Every in-flight attempt dies with the pool: trace them as
-            # lost before the re-spawn wipes the flight list.
-            for flight in flights:
+            self.counters.add_fault_event(FAULT_RESPAWNS)
+
+        def absorb_loss(reason: str, node: Any) -> None:
+            """Recover from one infrastructure death (pool or node).
+
+            ``loss_scope="pool"``: every flight died with the pool —
+            re-spawn it, re-ship the broadcast under a fresh epoch, and
+            requeue all undone work.  ``loss_scope="node"``: only the
+            dead node's flights are lost; survivors keep computing and
+            their epoch stays valid, so just requeue the lost tasks.
+            """
+            nonlocal recovery_setup, epoch
+            charge_respawn(reason)
+            lost = substrate.lost_flights(flights, node)
+            for flight in lost:
                 record_flight_span(flight, "lost", reason=reason)
             t0 = time.perf_counter()
-            with self.counters.timed_setup("respawn_teardown"):
-                # Keep the segments: the broadcast value is unchanged, so
-                # the replacement workers re-attach what already exists.
-                self._teardown_pool(keep_segments=True)
-            self._ensure_pool()
-            if wants_broadcast:
-                self._ship_broadcast(broadcast, warmup)
-                epoch = self._shipped_epoch
+            substrate.recover(reason)
+            epoch = substrate.epoch
             recovery_setup += time.perf_counter() - t0
-            self.counters.add_fault_event(FAULT_RESPAWNS)
-            tracer.event(EVENT_RESPAWN, phase=phase, annotations={"reason": reason})
-            flights.clear()
-            retry_heap.clear()
-            ready.clear()
-            ready.extend(
-                (task_id, "respawn") for task_id in range(n) if not done[task_id]
-            )
+            annotations = {"reason": reason}
+            if node is not None:
+                annotations["node"] = node.label
+            tracer.event(EVENT_RESPAWN, phase=phase, annotations=annotations)
+            if substrate.loss_scope == "pool":
+                flights.clear()
+                retry_heap.clear()
+                ready.clear()
+                ready.extend(
+                    (task_id, "respawn")
+                    for task_id in range(n)
+                    if not done[task_id]
+                )
+            else:
+                requeued: set[int] = set()
+                for flight in lost:
+                    flights.remove(flight)
+                    substrate.release(flight)
+                    if not done[flight.task_id]:
+                        if flight.task_id not in requeued:
+                            requeued.add(flight.task_id)
+                            ready.append((flight.task_id, "respawn"))
 
         finished = False
         try:
@@ -925,10 +1354,16 @@ class Engine:
                         f"{policy.phase_timeout_s}s budget "
                         f"({completed}/{n} tasks done)"
                     )
-                if self._pool_damaged():
-                    respawn("a worker process died")
+                recovery_setup += substrate.maintain()
+                damage = substrate.damage_events()
+                if damage:
+                    for dead_node, reason in damage:
+                        absorb_loss(reason, dead_node)
                     launch_ready()
                     continue
+                #: Agent pool re-spawns already seen this scan, so one
+                #: burst of lost attempts charges the budget once.
+                lost_agent_pools: set[int] = set()
                 progressed = launch_ready()
                 for flight in list(flights):
                     if flight.async_result.ready():
@@ -938,35 +1373,83 @@ class Engine:
                             task_id, result, elapsed, pid, start_ts, blob = (
                                 flight.async_result.get()
                             )
-                        except StaleBroadcastError:
+                        except StaleBroadcastError as exc:
+                            if substrate.loss_scope != "pool":
+                                # Remote agents requeue their own
+                                # staleness; a raw one is a task failure.
+                                substrate.release(flight)
+                                record_flight_span(
+                                    flight, "error", error=repr(exc)
+                                )
+                                fail_attempt(flight.task_id, exc)
+                                continue
                             # A silently-replaced worker ran with a cold
                             # cache; re-spawn invalidates every flight,
                             # so restart the scan from the fresh state.
-                            respawn("replacement worker had a cold broadcast cache")
+                            absorb_loss(
+                                "replacement worker had a cold broadcast cache",
+                                None,
+                            )
                             break
+                        except RemoteTaskLostError as exc:
+                            # The node's local pool died and re-spawned:
+                            # the attempt is lost, not failed — requeue
+                            # without charging the retry budget.  The
+                            # respawn itself charges the loss budget,
+                            # once per node per scan.
+                            substrate.release(flight)
+                            record_flight_span(flight, "lost", reason=str(exc))
+                            node_id = flight.node.node_id
+                            if node_id not in lost_agent_pools:
+                                lost_agent_pools.add(node_id)
+                                charge_respawn(str(exc))
+                                tracer.event(
+                                    EVENT_RESPAWN, phase=phase,
+                                    annotations={
+                                        "reason": str(exc),
+                                        "node": flight.node.label,
+                                    },
+                                )
+                            if not done[flight.task_id]:
+                                ready.append((flight.task_id, "respawn"))
+                        except NodeDeathError as exc:
+                            # The node died under the flight; the death
+                            # event (absorbed above or next scan) does
+                            # the accounting — just requeue this task.
+                            substrate.release(flight)
+                            record_flight_span(flight, "lost", reason=str(exc))
+                            if not done[flight.task_id]:
+                                ready.append((flight.task_id, "respawn"))
                         except Exception as exc:
+                            substrate.release(flight)
                             record_flight_span(flight, "error", error=repr(exc))
                             fail_attempt(flight.task_id, exc)
                         else:
+                            substrate.release(flight)
                             if blob is not None:
                                 self.profile_blobs.append(blob)
                             won = not done[task_id]
+                            worker = substrate.worker_label(flight, pid)
                             if tracer.enabled:
+                                span_start, span_end = substrate.attempt_window(
+                                    flight, start_ts, elapsed
+                                )
                                 parent = task_spans.get(task_id)
                                 tracer.record_span(
                                     f"task {task_id}#{flight.attempt}",
                                     "attempt",
-                                    start_s=start_ts, end_s=start_ts + elapsed,
+                                    start_s=span_start, end_s=span_end,
                                     parent_id=(
                                         parent.span_id if parent is not None
                                         else phase_span.span_id
                                     ),
                                     phase=phase, task_id=task_id,
-                                    attempt=flight.attempt, worker=pid,
+                                    attempt=flight.attempt, worker=worker,
                                     epoch=epoch,
                                     annotations={
                                         "compute_s": elapsed,
                                         "winner": won,
+                                        **substrate.flight_annotations(flight),
                                         **(
                                             {"timed_out": True}
                                             if flight.timed_out else {}
@@ -976,7 +1459,7 @@ class Engine:
                                 if won and parent is not None:
                                     # The winning attempt's worker names
                                     # the whole task span.
-                                    parent.worker = pid
+                                    parent.worker = worker
                                     tracer.end_span(parent)
                             if won:
                                 done[task_id] = True
@@ -985,7 +1468,7 @@ class Engine:
                                 durations.append(elapsed)
                                 self._record(
                                     counter_phase, task_id, tasks[task_id],
-                                    elapsed, item_counter, pid,
+                                    elapsed, item_counter, worker,
                                 )
                     elif (
                         policy.task_timeout_s is not None
@@ -1022,7 +1505,7 @@ class Engine:
                     policy.speculative
                     and durations
                     and not ready
-                    and len(flights) < self.num_workers
+                    and substrate.has_slot(len(flights))
                     and completed >= max(policy.speculation_min_done, (n + 1) // 2)
                 ):
                     median = statistics.median(durations)
@@ -1067,6 +1550,86 @@ class Engine:
             self.counters.add_phase_time(
                 counter_phase, time.perf_counter() - start - recovery_setup
             )
+        return results
+
+    def _map_remote_fast(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Any],
+        *,
+        wants_broadcast: bool,
+        phase: str,
+        counter_phase: str,
+        item_counter: Callable[[Any], int] | None,
+    ) -> list[Any]:
+        """Remote execution without a fault policy.
+
+        Admission-controlled dispatch across eligible nodes, reaped in
+        completion order.  The first failure propagates — node death
+        included; resilience is the recovery loop's job, opted into via
+        ``fault_policy`` (same contract as the local fast path, where a
+        worker death surfaces instead of being absorbed).
+        """
+        substrate = _RemoteSubstrate(self, None, wants_broadcast, None)
+        epoch = substrate.epoch
+        n = len(tasks)
+        results: list[Any] = [None] * n
+        pending: deque[int] = deque(range(n))
+        flights: list[_Flight] = []
+        completed = 0
+        with self.counters.timed_phase(counter_phase), self.tracer.span(
+            phase, "phase", phase=phase
+        ):
+            while completed < n:
+                while pending and substrate.has_slot(len(flights)):
+                    task_id = pending[0]
+                    try:
+                        flight = substrate.submit(
+                            fn, task_id, tasks[task_id], 0, phase, None,
+                            self.profile,
+                        )
+                    except NodeDeathError:
+                        # Race with a death: fall through to the
+                        # eligible-nodes check below.
+                        flight = None
+                    if flight is None:
+                        break
+                    pending.popleft()
+                    flights.append(flight)
+                progressed = False
+                for flight in list(flights):
+                    if not flight.async_result.ready():
+                        continue
+                    flights.remove(flight)
+                    substrate.release(flight)
+                    progressed = True
+                    task_id, result, elapsed, pid, _start_ts, blob = (
+                        flight.async_result.get()
+                    )
+                    results[task_id] = result
+                    completed += 1
+                    worker = substrate.worker_label(flight, pid)
+                    self._record(
+                        counter_phase, task_id, tasks[task_id], elapsed,
+                        item_counter, worker,
+                    )
+                    if blob is not None:
+                        self.profile_blobs.append(blob)
+                    span_start, span_end = substrate.attempt_window(
+                        flight, None, elapsed
+                    )
+                    self._trace_oneshot(
+                        phase, task_id, span_start, span_end, worker, epoch,
+                        node=flight.node.label,
+                    )
+                if not progressed:
+                    if pending and not flights and not substrate._eligible_nodes():
+                        raise NodeDeathError(
+                            f"phase {phase!r}: no eligible node left to run "
+                            f"{len(pending)} remaining task(s); configure "
+                            "fault_policy for node-death recovery"
+                        )
+                    time.sleep(0.005)
         return results
 
     # ------------------------------------------------------------------
@@ -1195,15 +1758,109 @@ class Engine:
         self._shipped_broadcast = broadcast
         self.broadcast_ships += 1
 
-    def collect_broadcast_stats(self) -> list[tuple[int, dict]]:
-        """Gather each worker's shard-residency ledger (process mode).
+    def _ship_broadcast_remote(
+        self,
+        broadcast: Any,
+        warmup: Callable[[Any], Any] | None,
+        *,
+        nodes: Sequence[Any] | None = None,
+    ) -> None:
+        """Ship ``broadcast`` to nodes — exactly once per node per epoch.
 
-        Fans one :func:`_collect_residency` task to every worker with the
-        same barrier rendezvous as a broadcast ship.  Returns ``[(pid,
-        stats_dict), ...]`` — empty when there is no live pool or the
-        pool is damaged (a crashed worker cannot report; its replacement
-        has nothing to say).
+        The wire carries one pickle blob per *node* (channel ``tcp``);
+        each agent re-hoists it through its local broadcast channel, so
+        TCP moves one copy per machine and node-local shm fans it out
+        per worker.  A new value (identity comparison, same rule as
+        :meth:`_ship_broadcast`) bumps the epoch and re-encodes; an
+        unchanged value reuses the cached blob and only reaches nodes
+        missing the current epoch (rejoins).  ``nodes`` narrows the
+        targets to a re-equip set.
         """
+        cluster = self._ensure_cluster()
+        new_value = broadcast is not self._shipped_broadcast
+        if new_value:
+            self._shipped_epoch += 1
+            with self.counters.timed_setup("broadcast_encode"):
+                self._remote_value_blob = pickle.dumps(
+                    broadcast, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                self._remote_warmup_blob = (
+                    None if warmup is None
+                    else pickle.dumps(warmup, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            self._shipped_broadcast = broadcast
+            self.broadcast_ships += 1
+        epoch = self._shipped_epoch
+        targets = list(nodes) if nodes is not None else cluster.alive_nodes()
+        if all(node.shipped_epoch == epoch for node in targets):
+            return  # every target already holds this epoch
+        blob = self._remote_value_blob
+        ship_span = self.tracer.start_span(
+            "broadcast_ship", "setup", push=False, epoch=epoch,
+            annotations={
+                "channel": "tcp",
+                "payload_bytes": len(blob),
+                "segment_bytes": 0,
+                "num_segments": 0,
+                "segments_reused": not new_value,
+            },
+        )
+        start = time.perf_counter()
+        try:
+            acks = cluster.ship_broadcast(
+                epoch, blob, self._remote_warmup_blob, nodes=targets
+            )
+        except BaseException:
+            self.tracer.end_span(ship_span, status="error")
+            raise
+        wall = time.perf_counter() - start
+        by_id = {node.node_id: node for node in targets}
+        warm_wall = 0.0
+        now = time.perf_counter()
+        for node_id, ack in acks.items():
+            node = by_id[node_id]
+            install_s = float(ack.get("install_s", 0.0))
+            warm_s = float(ack.get("warm_s", 0.0))
+            warm_wall = max(warm_wall, warm_s)
+            self.counters.add_broadcast_bytes("tcp", len(blob))
+            self.tracer.record_span(
+                f"node_broadcast {node.label}", "setup",
+                start_s=now - install_s, end_s=now,
+                parent_id=ship_span.span_id, epoch=epoch,
+                annotations={
+                    "node": node.label,
+                    "payload_bytes": len(blob),
+                    "install_s": install_s,
+                    "warm_s": warm_s,
+                },
+            )
+        self.tracer.end_span(
+            ship_span, warmed=warmup is not None, nodes_shipped=len(acks)
+        )
+        # Node-side warm-ups run concurrently; the slowest is the
+        # wall-clock share of the ship attributable to warm-up.
+        self.counters.add_setup_time("broadcast_ship", max(wall - warm_wall, 0.0))
+        if warmup is not None:
+            self.counters.add_setup_time("warmup", warm_wall)
+
+    def collect_broadcast_stats(self) -> list[tuple[int | str, dict]]:
+        """Gather each worker's shard-residency ledger.
+
+        Process mode fans one :func:`_collect_residency` task to every
+        worker with the same barrier rendezvous as a broadcast ship and
+        returns ``[(pid, stats_dict), ...]``; remote mode asks every
+        alive node for its workers' ledgers and returns
+        ``[("n<k>:<pid>", stats_dict), ...]``.  Empty when there is no
+        live pool/cluster or the pool is damaged (a crashed worker
+        cannot report; its replacement has nothing to say).
+        """
+        if self.mode == "remote":
+            if self._cluster is None:
+                return []
+            try:
+                return self._cluster.collect_stats()
+            except Exception:
+                return []
         if self.mode != "process" or self._pool is None or self._pool_damaged():
             return []
         tokens = list(range(self.num_workers))

@@ -36,6 +36,7 @@ __all__ = [
     "FaultPolicy",
     "FaultInjector",
     "FaultDecision",
+    "NodeFaultDecision",
     "EngineClosedError",
     "StaleBroadcastError",
     "InjectedFault",
@@ -98,6 +99,27 @@ class FaultDecision:
 
 
 @dataclass(frozen=True)
+class NodeFaultDecision:
+    """What the injector decided for one ``(phase, node_id)``.
+
+    Node faults are a coarser chaos axis than task faults: they strike a
+    whole machine (its agent process, its connection, or its pacing)
+    rather than one task attempt.  The remote node agent evaluates its
+    decision once per phase, on task receipt, so a crash lands genuinely
+    mid-phase — after the node has accepted work — not before the phase
+    starts.
+    """
+
+    crash: bool = False
+    delay: bool = False
+    drop: bool = False
+
+    @property
+    def any(self) -> bool:
+        return self.crash or self.delay or self.drop
+
+
+@dataclass(frozen=True)
 class FaultInjector:
     """Seeded chaos source: crash / delay / exception per task attempt.
 
@@ -113,27 +135,48 @@ class FaultInjector:
         running — the straggler generator.
     exception_prob:
         Probability that an attempt raises :class:`InjectedFault`.
+    node_crash_prob:
+        Probability that a remote node agent kills itself
+        (``os._exit``) upon receiving its second task of a phase —
+        mid-phase node death, the scenario the remote executor's
+        recovery loop must absorb.  Ignored by local executors.
+    node_delay_prob / node_delay_s:
+        Probability that a node sleeps ``node_delay_s`` before
+        dispatching its first task of a phase — a slow-machine model.
+    node_drop_prob:
+        Probability that a node drops its driver connection (once per
+        phase, on the second task): the driver sees a dead node, the
+        agent survives and rejoins on reconnect.
     seed:
         Root seed.  Decisions are a pure function of
-        ``(seed, phase, task_id, attempt)`` — independent of execution
-        order, worker scheduling, and ``PYTHONHASHSEED`` — so chaos
-        runs are reproducible and retries are never deterministically
-        doomed.
+        ``(seed, phase, task_id, attempt)`` — and, for node faults, of
+        ``(seed, phase, node_id)`` — independent of execution order,
+        worker scheduling, and ``PYTHONHASHSEED`` — so chaos runs are
+        reproducible and retries are never deterministically doomed.
     """
 
     crash_prob: float = 0.0
     delay_prob: float = 0.0
     exception_prob: float = 0.0
     delay_s: float = 0.1
+    node_crash_prob: float = 0.0
+    node_delay_prob: float = 0.0
+    node_drop_prob: float = 0.0
+    node_delay_s: float = 0.1
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("crash_prob", "delay_prob", "exception_prob"):
+        for name in (
+            "crash_prob", "delay_prob", "exception_prob",
+            "node_crash_prob", "node_delay_prob", "node_drop_prob",
+        ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
         if self.delay_s < 0:
             raise ValueError("delay_s must be >= 0")
+        if self.node_delay_s < 0:
+            raise ValueError("node_delay_s must be >= 0")
 
     def decide(self, phase: str, task_id: int, attempt: int) -> FaultDecision:
         """The (deterministic) fault decision for one task attempt."""
@@ -164,6 +207,20 @@ class FaultInjector:
             raise InjectedFault(
                 f"injected exception: {phase} task {task_id} attempt {attempt}"
             )
+
+    def decide_node(self, phase: str, node_id: int) -> NodeFaultDecision:
+        """The (deterministic) node-level fault decision for one phase.
+
+        Same SHA-stable string-seeding scheme as :meth:`decide`, under a
+        distinct ``node`` namespace so adding node chaos never perturbs
+        the task-level decision stream of an existing seed.
+        """
+        rng = random.Random(f"{self.seed}|node|{phase}|{node_id}")
+        return NodeFaultDecision(
+            crash=rng.random() < self.node_crash_prob,
+            delay=rng.random() < self.node_delay_prob,
+            drop=rng.random() < self.node_drop_prob,
+        )
 
 
 @dataclass(frozen=True)

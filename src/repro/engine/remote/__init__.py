@@ -1,0 +1,46 @@
+"""Multi-node distributed substrate for the engine.
+
+Three layers, bottom up:
+
+* :mod:`repro.engine.remote.protocol` — the asyncio/TCP wire format:
+  length-prefixed frames (magic + version + type + u64 length +
+  payload), message-type constants, and the heartbeat monitor.
+* :mod:`repro.engine.remote.agent` — the per-machine node agent
+  (``python -m repro.node``): fronts a local persistent process pool,
+  installs each broadcast epoch once per node into node-local shared
+  memory, runs tasks, and survives local worker death by respawning its
+  pool.
+* :mod:`repro.engine.remote.cluster` — the driver side:
+  :class:`~repro.engine.remote.cluster.RemoteCluster` holds one TCP
+  connection per node, tracks liveness via heartbeats, reconnects dead
+  nodes, and exposes the synchronous submit/ship facade the engine's
+  recovery loop schedules through.
+
+:mod:`repro.engine.remote.loopback` spawns N agents on 127.0.0.1 so the
+whole substrate — including dead-node chaos — is testable on a single
+machine.
+"""
+
+from repro.engine.remote.cluster import (
+    NodeDeathError,
+    RemoteCluster,
+    RemoteTaskLostError,
+)
+from repro.engine.remote.loopback import loopback_nodes
+from repro.engine.remote.protocol import (
+    PROTOCOL_VERSION,
+    FrameError,
+    HeartbeatMonitor,
+    VersionMismatchError,
+)
+
+__all__ = [
+    "NodeDeathError",
+    "RemoteCluster",
+    "RemoteTaskLostError",
+    "loopback_nodes",
+    "PROTOCOL_VERSION",
+    "FrameError",
+    "HeartbeatMonitor",
+    "VersionMismatchError",
+]

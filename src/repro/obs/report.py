@@ -13,8 +13,11 @@ report the paper's efficiency analysis wants at a glance:
 * **straggler summary** — tasks ≥ 2× their phase median, the targets
   speculation would duplicate;
 * **broadcast ledger** — every broadcast fan-out with its channel
-  (``pickle`` vs zero-copy ``shm``), payload and segment bytes, and
-  ship time;
+  (``pickle`` vs zero-copy ``shm`` vs remote ``tcp``), payload and
+  segment bytes, and ship time;
+* **node broadcast ledger** — remote runs only: one row per node per
+  broadcast epoch, showing the substrate shipped each value exactly
+  once per node;
 * **fault ledger** — every retry/timeout/respawn/speculation event with
   its wall-clock timestamp.
 
@@ -39,7 +42,9 @@ __all__ = [
     "render_run_report",
     "phase_task_durations",
     "worker_busy_seconds",
+    "worker_nodes",
     "broadcast_ledger_rows",
+    "node_ledger_rows",
     "fault_ledger_rows",
     "merge_ledger_rows",
 ]
@@ -88,6 +93,24 @@ def worker_busy_seconds(spans: list[Span]) -> dict[int | str, float]:
         out[worker] = out.get(worker, 0.0) + float(
             span.annotations.get("compute_s", span.duration_s)
         )
+    return out
+
+
+def worker_nodes(spans: list[Span]) -> dict[int | str, str]:
+    """Map each worker label to the node its attempts ran on.
+
+    Remote attempts carry a ``node`` annotation; serial/process runs
+    record none, so the map is empty and reports stay node-free.
+    """
+    out: dict[int | str, str] = {}
+    for span in spans:
+        if span.kind != "attempt":
+            continue
+        node = span.annotations.get("node")
+        if node is None:
+            continue
+        worker = span.worker if span.worker is not None else "driver"
+        out[worker] = node
     return out
 
 
@@ -197,6 +220,35 @@ def broadcast_ledger_rows(spans: list[Span]) -> list[list]:
     return rows
 
 
+def node_ledger_rows(spans: list[Span]) -> list[list]:
+    """One row per node per broadcast epoch: the per-node ship record.
+
+    Rendered from the ``node_broadcast <label>`` setup spans the remote
+    engine records under each ``broadcast_ship`` fan-out.  An epoch that
+    lists every node exactly once is the substrate's one-ship-per-node
+    invariant made visible.
+    """
+    rows = []
+    for span in spans:
+        if span.kind != "setup" or not span.name.startswith("node_broadcast"):
+            continue
+        notes = span.annotations
+        payload = notes.get("payload_bytes")
+        install = notes.get("install_s")
+        warm = notes.get("warm_s")
+        rows.append(
+            [
+                notes.get("node"),
+                span.epoch,
+                f"{payload} B" if payload is not None else None,
+                format_duration(float(install)) if install is not None else None,
+                format_duration(float(warm)) if warm is not None else None,
+            ]
+        )
+    rows.sort(key=lambda row: (row[1] or 0, str(row[0])))
+    return rows
+
+
 def merge_ledger_rows(spans: list[Span]) -> list[list]:
     """One row per engine-scheduled Phase III-1 tournament round.
 
@@ -290,13 +342,25 @@ def render_run_report(spans: list[Span], *, title: str = "run report") -> str:
             )
         )
 
+    rows = node_ledger_rows(spans)
+    if rows:
+        sections.append(
+            format_table(
+                ["node", "epoch", "payload", "install", "warm"],
+                rows,
+                title="node broadcast ledger (one ship per node per epoch)",
+            )
+        )
+
     busy = worker_busy_seconds(spans)
+    nodes = worker_nodes(spans)
     phase_spans = [s for s in spans if s.kind == "phase"]
     window = sum(s.duration_s for s in phase_spans) or 1.0
     if busy:
         rows = [
             [
                 str(worker),
+                *([nodes.get(worker)] if nodes else []),
                 format_duration(seconds),
                 render_utilization_bar(seconds / window),
                 f"{seconds / window:.1%}",
@@ -307,7 +371,8 @@ def render_run_report(spans: list[Span], *, title: str = "run report") -> str:
         ]
         sections.append(
             format_table(
-                ["worker", "busy", "utilization", "busy frac"],
+                ["worker", *(["node"] if nodes else []),
+                 "busy", "utilization", "busy frac"],
                 rows,
                 title="per-worker utilization (over mapped-phase time)",
             )

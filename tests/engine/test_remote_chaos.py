@@ -1,0 +1,243 @@
+"""Dead-node chaos against the remote executor, over real agents.
+
+Node-level faults are seeded per ``(seed, phase, node)`` — same
+SHA-stable scheme as the task-level injector — so every test here
+probes ``FaultInjector.decide_node`` for a seed whose fault map is
+known by construction, then replays it against a live loopback
+cluster:
+
+* a **node crash** mid-Phase II (the agent calls ``os._exit`` with
+  tasks in flight) must cost one respawn charge and change no label;
+* a **connection drop** must be absorbed as a node death and healed by
+  the background redial — the node rejoins and serves again;
+* a **worker crash inside a node** is local damage: the agent respawns
+  its pool and requeues the attempt (the ``RemoteTaskLostError`` path),
+  with the node itself staying alive through the whole run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PHASE_CELL_GRAPH,
+    PHASE_DICTIONARY,
+    PHASE_LABEL,
+    PHASE_MERGE,
+    RPDBSCAN,
+)
+from repro.engine import (
+    FAULT_RESPAWNS,
+    Engine,
+    FaultInjector,
+    FaultPolicy,
+    loopback_nodes,
+)
+
+FIT_PARAMS = dict(eps=0.3, min_pts=10, num_partitions=6, seed=0)
+
+#: Every phase label a 6-partition fit can hand to ``decide_node``
+#: (merge rounds are generously over-provisioned).
+ENGINE_PHASES = [PHASE_DICTIONARY, PHASE_CELL_GRAPH, PHASE_LABEL] + [
+    f"{PHASE_MERGE} round {i}" for i in range(8)
+]
+
+
+def square(x):
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# Seed probes: fault maps verified by construction, not by luck.
+# ----------------------------------------------------------------------
+
+
+def _single_node_crash_injector() -> FaultInjector:
+    """Node 0 crashes in Phase II (and nowhere earlier); node 1 never."""
+    for seed in range(10_000):
+        inj = FaultInjector(node_crash_prob=0.25, seed=seed)
+        if not inj.decide_node(PHASE_CELL_GRAPH, 0).crash:
+            continue
+        if inj.decide_node(PHASE_DICTIONARY, 0).crash:
+            continue  # must still be alive entering Phase II
+        if any(inj.decide_node(p, 1).crash for p in ENGINE_PHASES):
+            continue  # the survivor must survive
+        return inj
+    pytest.fail("no single-node-crash seed found")
+
+
+def _single_drop_injector() -> FaultInjector:
+    """Node 0 drops its connection in Phase II only; node 1 never."""
+    for seed in range(10_000):
+        inj = FaultInjector(node_drop_prob=0.25, seed=seed)
+        drops_0 = [p for p in ENGINE_PHASES if inj.decide_node(p, 0).drop]
+        drops_1 = [p for p in ENGINE_PHASES if inj.decide_node(p, 1).drop]
+        if drops_0 == [PHASE_CELL_GRAPH] and not drops_1:
+            return inj
+    pytest.fail("no single-drop seed found")
+
+
+def _worker_crash_injector() -> FaultInjector:
+    """Exactly one worker-level crash: Phase II, attempt 0."""
+    for seed in range(10_000):
+        inj = FaultInjector(crash_prob=0.02, seed=seed)
+        crashes = [
+            (p, t, a)
+            for p in ENGINE_PHASES
+            for t in range(7)
+            for a in range(3)
+            if inj.decide(p, t, a).any
+        ]
+        if len(crashes) == 1 and crashes[0][0] == PHASE_CELL_GRAPH and crashes[0][2] == 0:
+            return inj
+    pytest.fail("no single-worker-crash seed found")
+
+
+def _chaos_policy(injector: FaultInjector) -> FaultPolicy:
+    return FaultPolicy(
+        max_retries=4,
+        max_respawns=8,
+        backoff_base_s=0.01,
+        backoff_max_s=0.1,
+        injector=injector,
+    )
+
+
+#: Injected node deaths surface through connection loss, which is
+#: immediate — a generous heartbeat timeout only stops a loaded CI box
+#: from spuriously declaring a busy (but healthy) node dead.
+ENGINE_OPTS = dict(heartbeat_timeout_s=30.0)
+
+
+# ----------------------------------------------------------------------
+# Determinism of the node fault stream
+# ----------------------------------------------------------------------
+
+
+class TestNodeFaultDecisions:
+    def test_decisions_are_deterministic(self):
+        a = FaultInjector(node_crash_prob=0.5, node_drop_prob=0.5, seed=11)
+        b = FaultInjector(node_crash_prob=0.5, node_drop_prob=0.5, seed=11)
+        for phase in ENGINE_PHASES:
+            for node in (0, 1, 2):
+                assert a.decide_node(phase, node) == b.decide_node(phase, node)
+
+    def test_decisions_vary_by_phase_and_node(self):
+        inj = FaultInjector(node_crash_prob=0.5, seed=11)
+        decisions = {
+            (p, n): inj.decide_node(p, n).crash
+            for p in ENGINE_PHASES
+            for n in range(4)
+        }
+        assert len(set(decisions.values())) == 2  # both outcomes drawn
+
+    def test_node_stream_never_perturbs_the_task_stream(self):
+        plain = FaultInjector(exception_prob=0.3, seed=4)
+        noded = FaultInjector(
+            exception_prob=0.3, node_crash_prob=0.9, node_drop_prob=0.9, seed=4
+        )
+        for phase in ENGINE_PHASES:
+            for task in range(6):
+                for attempt in range(3):
+                    assert plain.decide(phase, task, attempt) == noded.decide(
+                        phase, task, attempt
+                    )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"node_crash_prob": 1.5},
+            {"node_drop_prob": -0.1},
+            {"node_delay_prob": 2.0},
+            {"node_delay_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultInjector(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Node death mid-phase
+# ----------------------------------------------------------------------
+
+
+class TestNodeCrash:
+    def test_node_crash_mid_phase2_matches_serial(self, two_blobs):
+        serial = RPDBSCAN(**FIT_PARAMS).fit(two_blobs)
+        policy = _chaos_policy(_single_node_crash_injector())
+        with loopback_nodes(num_nodes=2, workers=2) as addrs:
+            with Engine("remote", nodes=addrs, fault_policy=policy, **ENGINE_OPTS) as engine:
+                chaos = RPDBSCAN(**FIT_PARAMS, engine=engine).fit(two_blobs)
+
+        # Losing a node with attempts in flight changes no label.
+        np.testing.assert_array_equal(chaos.labels, serial.labels)
+        assert chaos.n_clusters == serial.n_clusters
+        assert chaos.fault_events.get(FAULT_RESPAWNS, 0) >= 1
+
+        ledger = {row["node"]: row for row in chaos.node_ledger}
+        assert ledger["n0"]["deaths"] >= 1
+        assert ledger["n0"]["alive"] is False
+        assert ledger["n1"]["alive"] is True
+        assert ledger["n1"]["tasks"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Connection drop + rejoin
+# ----------------------------------------------------------------------
+
+
+class TestConnectionDrop:
+    def test_drop_is_absorbed_and_the_node_rejoins(self, two_blobs):
+        serial = RPDBSCAN(**FIT_PARAMS).fit(two_blobs)
+        policy = _chaos_policy(_single_drop_injector())
+        with loopback_nodes(num_nodes=2, workers=2) as addrs:
+            with Engine("remote", nodes=addrs, fault_policy=policy, **ENGINE_OPTS) as engine:
+                chaos = RPDBSCAN(**FIT_PARAMS, engine=engine).fit(two_blobs)
+                np.testing.assert_array_equal(chaos.labels, serial.labels)
+                assert chaos.fault_events.get(FAULT_RESPAWNS, 0) >= 1
+
+                # The agent survived its own drop; the background redial
+                # brings it back (0.25 s cadence — wait it out).
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    row = engine.node_ledger()[0]
+                    if row["rejoins"] >= 1 and row["alive"]:
+                        break
+                    time.sleep(0.1)
+                row = engine.node_ledger()[0]
+                assert row["deaths"] >= 1
+                assert row["rejoins"] >= 1
+                assert row["alive"] is True
+
+                # ... and serves again: a fresh map reaches both nodes.
+                tasks_before = row["tasks"]
+                assert engine.map_tasks(square, list(range(40))) == [
+                    x * x for x in range(40)
+                ]
+                assert engine.node_ledger()[0]["tasks"] > tasks_before
+
+
+# ----------------------------------------------------------------------
+# Worker death inside a node (local damage, not node death)
+# ----------------------------------------------------------------------
+
+
+class TestWorkerCrashInsideNode:
+    def test_worker_crash_requeues_without_killing_the_node(self, two_blobs):
+        serial = RPDBSCAN(**FIT_PARAMS).fit(two_blobs)
+        policy = _chaos_policy(_worker_crash_injector())
+        with loopback_nodes(num_nodes=2, workers=2) as addrs:
+            with Engine("remote", nodes=addrs, fault_policy=policy, **ENGINE_OPTS) as engine:
+                chaos = RPDBSCAN(**FIT_PARAMS, engine=engine).fit(two_blobs)
+
+        np.testing.assert_array_equal(chaos.labels, serial.labels)
+        # The agent's pool respawn surfaced as one respawn charge ...
+        assert chaos.fault_events.get(FAULT_RESPAWNS, 0) >= 1
+        # ... but no node died: both stayed connected end to end.
+        ledger = {row["node"]: row for row in chaos.node_ledger}
+        assert ledger["n0"]["deaths"] == 0 and ledger["n1"]["deaths"] == 0
+        assert ledger["n0"]["alive"] and ledger["n1"]["alive"]

@@ -1,0 +1,278 @@
+"""The distributed substrate's wire layer, sockets excluded.
+
+Everything here runs against in-memory byte streams: frame round trips
+(property-based, plus a >16 MiB payload), rejection of truncated and
+garbage frames, version-mismatch refusal at ``hello`` time, and
+heartbeat-timeout detection with a fake clock.  The live TCP paths are
+covered by the loopback tests in ``test_remote_executor``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.remote.protocol import (
+    FRAME_MAGIC,
+    HEADER_SIZE,
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    MSG_HELLO,
+    MSG_HEARTBEAT,
+    MSG_TASK,
+    PROTOCOL_VERSION,
+    FrameError,
+    HeartbeatMonitor,
+    VersionMismatchError,
+    decode_header,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+_HEADER = struct.Struct(">4sHHQ")
+
+
+def _read_one(data: bytes) -> tuple[int, bytes]:
+    """Decode one frame from an in-memory stream via ``read_frame``."""
+
+    async def go() -> tuple[int, bytes]:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# Frame round trips
+# ----------------------------------------------------------------------
+
+
+class TestFrameRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        msg_type=st.sampled_from(sorted(MESSAGE_TYPES)),
+        payload=st.binary(min_size=0, max_size=4096),
+    )
+    def test_encode_decode_round_trip(self, msg_type, payload):
+        frame = encode_frame(msg_type, payload)
+        assert len(frame) == HEADER_SIZE + len(payload)
+        got_type, got_len = decode_header(frame[:HEADER_SIZE])
+        assert (got_type, got_len) == (msg_type, len(payload))
+        assert frame[HEADER_SIZE:] == payload
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        msg_type=st.sampled_from(sorted(MESSAGE_TYPES)),
+        payload=st.binary(min_size=0, max_size=2048),
+    )
+    def test_stream_round_trip(self, msg_type, payload):
+        got_type, got_payload = _read_one(encode_frame(msg_type, payload))
+        assert (got_type, got_payload) == (msg_type, payload)
+
+    def test_empty_payload_is_the_default(self):
+        assert encode_frame(MSG_HEARTBEAT) == encode_frame(MSG_HEARTBEAT, b"")
+        got_type, got_payload = _read_one(encode_frame(MSG_HEARTBEAT))
+        assert (got_type, got_payload) == (MSG_HEARTBEAT, b"")
+
+    def test_payload_larger_than_16_mib(self):
+        # Broadcast blobs routinely exceed tens of MiB; the u64 length
+        # field must carry them without truncation.
+        payload = b"\xab" * ((16 << 20) + 17)
+        got_type, got_payload = _read_one(encode_frame(MSG_TASK, payload))
+        assert got_type == MSG_TASK
+        assert got_payload == payload
+
+    def test_back_to_back_frames_keep_their_boundaries(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(MSG_TASK, b"first"))
+            reader.feed_data(encode_frame(MSG_HEARTBEAT))
+            reader.feed_data(encode_frame(MSG_TASK, b"third"))
+            reader.feed_eof()
+            return [await read_frame(reader) for _ in range(3)]
+
+        assert asyncio.run(go()) == [
+            (MSG_TASK, b"first"),
+            (MSG_HEARTBEAT, b""),
+            (MSG_TASK, b"third"),
+        ]
+
+    def test_write_frame_matches_encode_frame(self):
+        async def go():
+            reader = asyncio.StreamReader()
+
+            class _Writer:
+                def write(self, data):
+                    reader.feed_data(data)
+
+                async def drain(self):
+                    pass
+
+            await write_frame(_Writer(), MSG_TASK, b"payload")
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(go()) == (MSG_TASK, b"payload")
+
+
+# ----------------------------------------------------------------------
+# Malformed frames
+# ----------------------------------------------------------------------
+
+
+class TestFrameRejection:
+    def test_truncated_header(self):
+        frame = encode_frame(MSG_TASK, b"x")
+        for cut in (0, 1, HEADER_SIZE - 1):
+            with pytest.raises(FrameError, match="truncated"):
+                decode_header(frame[:cut])
+
+    def test_bad_magic(self):
+        header = _HEADER.pack(b"HTTP", PROTOCOL_VERSION, MSG_TASK, 0)
+        with pytest.raises(FrameError, match="magic"):
+            decode_header(header)
+        # And a non-protocol peer's plaintext greeting is garbage too.
+        with pytest.raises(FrameError):
+            _read_one(b"GET / HTTP/1.1\r\n" + b" " * HEADER_SIZE)
+
+    def test_unknown_message_type(self):
+        header = _HEADER.pack(FRAME_MAGIC, PROTOCOL_VERSION, 999, 0)
+        with pytest.raises(FrameError, match="message type"):
+            decode_header(header)
+        with pytest.raises(FrameError):
+            encode_frame(999, b"")
+
+    def test_implausible_length_is_rejected_before_reading(self):
+        # A corrupted length field must fail fast, not attempt a
+        # multi-exabyte readexactly.
+        header = _HEADER.pack(
+            FRAME_MAGIC, PROTOCOL_VERSION, MSG_TASK, MAX_FRAME_BYTES + 1
+        )
+        with pytest.raises(FrameError, match="exceeds"):
+            decode_header(header)
+
+    def test_oversized_payload_refused_at_encode_time(self):
+        class _HugeBytes(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame(MSG_TASK, _HugeBytes())
+
+    @settings(max_examples=60, deadline=None)
+    @given(junk=st.binary(min_size=HEADER_SIZE, max_size=HEADER_SIZE))
+    def test_random_junk_headers_never_misparse_silently(self, junk):
+        # Random 16-byte headers either decode to a legal (type, length)
+        # or raise FrameError — never anything else.
+        try:
+            msg_type, length = decode_header(junk)
+        except FrameError:
+            return
+        assert msg_type in MESSAGE_TYPES
+        assert 0 <= length <= MAX_FRAME_BYTES
+
+    def test_eof_mid_frame_is_an_incomplete_read(self):
+        frame = encode_frame(MSG_TASK, b"payload")
+        with pytest.raises(asyncio.IncompleteReadError):
+            _read_one(frame[:-3])
+
+
+# ----------------------------------------------------------------------
+# Version skew
+# ----------------------------------------------------------------------
+
+
+class TestVersionMismatch:
+    def test_foreign_version_refused(self):
+        header = _HEADER.pack(FRAME_MAGIC, PROTOCOL_VERSION + 1, MSG_HELLO, 0)
+        with pytest.raises(VersionMismatchError):
+            decode_header(header)
+
+    def test_hello_from_a_future_driver_is_refused_before_payload(self):
+        # An old endpoint must refuse a new driver's hello at the header
+        # — the (possibly incompatible) payload is never touched.
+        payload = b"\x01" * 64
+        header = _HEADER.pack(
+            FRAME_MAGIC, PROTOCOL_VERSION + 3, MSG_HELLO, len(payload)
+        )
+        with pytest.raises(VersionMismatchError, match="version"):
+            _read_one(header + payload)
+
+    def test_version_checked_after_magic_before_type(self):
+        # Wrong magic wins over wrong version: garbage is garbage.
+        header = _HEADER.pack(b"NOPE", PROTOCOL_VERSION + 1, MSG_HELLO, 0)
+        with pytest.raises(FrameError) as excinfo:
+            decode_header(header)
+        assert not isinstance(excinfo.value, VersionMismatchError)
+        # Wrong version wins over unknown type: a future version may
+        # legitimately speak types this endpoint has never heard of.
+        header = _HEADER.pack(FRAME_MAGIC, PROTOCOL_VERSION + 1, 999, 0)
+        with pytest.raises(VersionMismatchError):
+            decode_header(header)
+
+
+# ----------------------------------------------------------------------
+# Heartbeat timeout (fake clock, no sockets)
+# ----------------------------------------------------------------------
+
+
+class _FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestHeartbeatMonitor:
+    def test_timeout_with_fake_clock(self):
+        clock = _FakeClock()
+        monitor = HeartbeatMonitor(10.0, clock=clock)
+        monitor.beat(0)
+        monitor.beat(1)
+        assert monitor.expired() == []
+        clock.now += 9.0
+        monitor.beat(1)  # node 1 keeps talking
+        assert monitor.expired() == []
+        clock.now += 2.0  # node 0 silent for 11 s, node 1 for 2 s
+        assert monitor.expired() == [0]
+        assert monitor.last_seen(1) == pytest.approx(109.0)
+
+    def test_never_beaten_nodes_never_expire(self):
+        clock = _FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock=clock)
+        clock.now += 1000.0
+        assert monitor.expired() == []
+        assert monitor.last_seen(7) is None
+
+    def test_forget_stops_tracking(self):
+        clock = _FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock=clock)
+        monitor.beat(0)
+        clock.now += 5.0
+        assert monitor.expired() == [0]
+        monitor.forget(0)
+        assert monitor.expired() == []  # known dead: no double report
+        monitor.forget(0)  # idempotent
+
+    def test_beat_after_expiry_revives(self):
+        clock = _FakeClock()
+        monitor = HeartbeatMonitor(1.0, clock=clock)
+        monitor.beat(0)
+        clock.now += 5.0
+        assert monitor.expired() == [0]
+        monitor.beat(0)
+        assert monitor.expired() == []
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(0.0)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(-1.0)
