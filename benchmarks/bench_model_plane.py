@@ -1,0 +1,188 @@
+"""The model plane, measured: batch serving and incremental refit.
+
+Two gates from the ClusterState rework, phrased as regressions rather
+than timer jitter:
+
+* **batch serving wins** — ``ClusterModel.predict`` on 50,000 queries
+  (drawn around the fitted data, the serving-shaped workload) must beat
+  a per-point prediction loop by at least :data:`BATCH_SPEEDUP_MIN` on
+  wall time while returning the exact same labels.  The win comes from
+  the model plane's columnar layout: one batched candidate sweep over
+  the distinct query cells (scalar packed keys, one ``searchsorted``)
+  plus a fused segmented distance/argmin pass instead of per-query
+  binary searches.
+* **incremental refit is sublinear** — ingesting the last
+  :data:`INGEST_FRACTION` of the data into a state fitted on the rest
+  must cost at most :data:`INGEST_WALL_MAX_FRACTION` of a from-scratch
+  fit on everything, while leaving the state **bit-identical** to that
+  full fit (labels, core flags, cell labels).  The dirty-cell ledger in
+  the published table shows why: only the eps-neighborhood of the
+  touched cells is recomputed.
+
+The published table records walls, throughputs, the speedup and refit
+ratios, and the dirty-cell fraction for the bench artifact.
+"""
+
+import time
+
+import numpy as np
+from common import bench_dataset, publish, run_once
+
+from repro import RPDBSCAN
+from repro.bench.reporting import format_duration, format_table
+from repro.core.prediction import ClusterModel
+from repro.core.serialization import (
+    deserialize_cluster_state,
+    serialize_cluster_state,
+)
+from repro.data.datasets import DATASETS
+
+N_POINTS = 20_000
+N_QUERIES = 50_000
+MIN_PTS = 20
+K = 8
+REPEATS = 3
+
+#: Fraction of the data arriving after the initial fit.
+INGEST_FRACTION = 0.01
+#: Batch predict must beat the per-point loop by at least this factor
+#: (measured ~20x on the reference container).
+BATCH_SPEEDUP_MIN = 10.0
+#: A 1% ingest must cost at most this fraction of a full refit
+#: (measured ~0.2x on the reference container).
+INGEST_WALL_MAX_FRACTION = 0.3
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def run_experiment():
+    points = bench_dataset("GeoLife", N_POINTS)
+    eps = DATASETS["GeoLife"].eps10 / 4
+    cut = int(N_POINTS * (1 - INGEST_FRACTION))
+    base, late = points[:cut], points[cut:]
+
+    # ---- full refit baseline vs incremental ingest --------------------
+    full_wall, full = _best_of(
+        lambda: RPDBSCAN(eps, MIN_PTS, K, seed=0).fit(points)
+    )
+    base_blob = serialize_cluster_state(
+        RPDBSCAN(eps, MIN_PTS, K, seed=0).fit(base).state
+    )
+
+    def one_ingest():
+        state = deserialize_cluster_state(base_blob)
+        report = state.ingest(late)
+        return state, report
+
+    ingest_wall, (state, report) = _best_of(one_ingest)
+    ingest_identical = bool(
+        np.array_equal(state.labels, full.labels)
+        and np.array_equal(state.core_mask, full.core_mask)
+        and np.array_equal(state.cell_labels, full.state.cell_labels)
+    )
+
+    # ---- batch predict vs the per-point loop --------------------------
+    model = ClusterModel.from_state(full.state)
+    rng = np.random.default_rng(0)
+    queries = points[rng.integers(0, N_POINTS, N_QUERIES)] + rng.normal(
+        0.0, eps / 2, (N_QUERIES, points.shape[1])
+    )
+    model.predict(queries[:64])  # warm candidate tables
+    batch_wall, batch_labels = _best_of(lambda: model.predict(queries))
+
+    loop_labels = np.empty(N_QUERIES, dtype=np.int64)
+    loop_start = time.perf_counter()
+    for i in range(N_QUERIES):
+        loop_labels[i] = model.predict(queries[i : i + 1])[0]
+    loop_wall = time.perf_counter() - loop_start
+
+    return {
+        "full_wall": full_wall,
+        "ingest_wall": ingest_wall,
+        "report": report,
+        "ingest_identical": ingest_identical,
+        "n_clusters": full.n_clusters,
+        "batch_wall": batch_wall,
+        "loop_wall": loop_wall,
+        "labels_match": bool(np.array_equal(batch_labels, loop_labels)),
+        "n_core": model.n_core_points,
+    }
+
+
+def test_model_plane(benchmark):
+    out = run_once(benchmark, run_experiment)
+    report = out["report"]
+    speedup = out["loop_wall"] / out["batch_wall"]
+    refit_ratio = out["ingest_wall"] / out["full_wall"]
+
+    publish(
+        "model_plane",
+        format_table(
+            ["scenario", "wall", "throughput", "vs baseline"],
+            [
+                [
+                    f"batch predict ({N_QUERIES} queries)",
+                    format_duration(out["batch_wall"]),
+                    f"{N_QUERIES / out['batch_wall']:,.0f} q/s",
+                    f"{speedup:.1f}x faster than the loop",
+                ],
+                [
+                    "per-point predict loop",
+                    format_duration(out["loop_wall"]),
+                    f"{N_QUERIES / out['loop_wall']:,.0f} q/s",
+                    "baseline",
+                ],
+                [
+                    f"incremental ingest ({late_label()})",
+                    format_duration(out["ingest_wall"]),
+                    f"{report.cells_dirty}/{report.cells_total} cells dirty",
+                    f"{refit_ratio:.2f}x of a full refit",
+                ],
+                [
+                    f"full refit ({N_POINTS} points)",
+                    format_duration(out["full_wall"]),
+                    f"{out['n_clusters']} clusters",
+                    "baseline",
+                ],
+            ],
+            title=(
+                f"model plane: {out['n_core']} core points served, "
+                f"bit-identical ingest = {out['ingest_identical']}"
+            ),
+        ),
+    )
+
+    # Both paths agree everywhere before any speed claim counts.
+    assert out["labels_match"], "batch and per-point labels disagree"
+    assert out["ingest_identical"], "ingest is not bit-identical to refit"
+
+    # Gate 1: batch serving amortizes — 10x over the per-point loop.
+    assert out["batch_wall"] * BATCH_SPEEDUP_MIN <= out["loop_wall"], (
+        f"batch predict {out['batch_wall']:.3f}s not "
+        f"{BATCH_SPEEDUP_MIN}x faster than loop {out['loop_wall']:.3f}s"
+    )
+
+    # Gate 2: a 1% ingest does sublinear work, and the ledger proves it
+    # touched only a fraction of the cells.
+    assert out["ingest_wall"] <= (
+        out["full_wall"] * INGEST_WALL_MAX_FRACTION
+    ), (
+        f"ingest {out['ingest_wall']:.3f}s exceeds "
+        f"{INGEST_WALL_MAX_FRACTION}x full refit {out['full_wall']:.3f}s"
+    )
+    assert report.cells_dirty < report.cells_total / 2, (
+        "dirty-cell invalidation touched most of the grid"
+    )
+    assert report.edges_retained > 0
+
+
+def late_label() -> str:
+    return f"{int(N_POINTS * INGEST_FRACTION)} pts, {INGEST_FRACTION:.0%}"

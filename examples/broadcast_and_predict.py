@@ -13,14 +13,26 @@ Two deployment-oriented features built on the paper's machinery:
    the real byte stream against the raw data and against the paper's
    size formula, then proves a worker can answer region queries from
    the deserialized copy alone.
-2. **Classifying new points** — a fitted clustering is frozen into a
-   :class:`ClusterModel` that assigns incoming points to clusters by
-   DBSCAN's border rule (nearest core within eps, else noise).
+2. **The model plane** — a fit's product is a persistent
+   :class:`ClusterState`: save it to an ``RPST`` file, load it anywhere,
+   serve batch label queries through :class:`ClusterModel` (DBSCAN's
+   border rule: nearest core within eps, else noise), and ingest new
+   points incrementally — the refit recomputes only the dirty cells yet
+   leaves the state bit-identical to a from-scratch fit on everything.
 """
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
-from repro import RPDBSCAN, CellDictionary, CellGeometry, ClusterModel, RegionQueryEngine
+from repro import (
+    RPDBSCAN,
+    CellDictionary,
+    CellGeometry,
+    ClusterModel,
+    RegionQueryEngine,
+    load_cluster_state,
+    save_cluster_state,
+)
 from repro.core import deserialize_dictionary, serialize_dictionary
 from repro.data import openstreetmap_like
 
@@ -47,11 +59,20 @@ def main() -> None:
     print(f"worker-side (eps,rho)-region query from bytes alone: "
           f"|N({points[0].round(2)})| ~= {count:.0f}")
 
-    # --- 2. Fit once, classify forever ------------------------------
+    # --- 2. Fit once, persist, classify forever ----------------------
     result = RPDBSCAN(eps, min_pts, num_partitions=8).fit(points)
     print(f"\nfitted: {result.n_clusters} clusters, {result.noise_count} noise")
-    frozen = ClusterModel(points, result.labels, result.core_mask, eps=eps)
-    print(f"model keeps {frozen.n_core_points} core points")
+
+    # The fit's product is a serializable ClusterState: save, load, serve.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "osm.rpst"
+        save_cluster_state(result.state, path)
+        state = load_cluster_state(path)
+        print(f"model state:         {path.stat().st_size / 1024:.1f} KiB on disk")
+
+    frozen = ClusterModel.from_state(state)
+    print(f"model keeps {frozen.n_core_points} core points "
+          f"in {frozen.num_cells} cells")
 
     new_points = openstreetmap_like(2000, seed=99)
     predicted = frozen.predict(new_points)
@@ -59,6 +80,18 @@ def main() -> None:
     print(
         f"classified {new_points.shape[0]} unseen points: "
         f"{assigned} into clusters, {new_points.shape[0] - assigned} noise"
+    )
+
+    # --- 3. Incremental refit ----------------------------------------
+    # Ingest the new batch: only the eps-neighborhood of touched cells
+    # is recomputed, and the state ends bit-identical to a from-scratch
+    # fit on all the points.
+    report = state.ingest(new_points)
+    print(
+        f"\ningested {report.num_new_points} points: "
+        f"{report.cells_dirty}/{report.cells_total} cells dirty, "
+        f"{report.edges_retained} edges retained, "
+        f"now {report.n_clusters} clusters"
     )
 
 

@@ -22,8 +22,11 @@ from repro.core import (
     CellDictionary,
     CellGeometry,
     ClusterModel,
+    ClusterState,
     RegionQueryEngine,
     RPDBSCANResult,
+    load_cluster_state,
+    save_cluster_state,
 )
 from repro.engine import Engine, FaultInjector, FaultPolicy
 
@@ -36,6 +39,9 @@ __all__ = [
     "CellDictionary",
     "RegionQueryEngine",
     "ClusterModel",
+    "ClusterState",
+    "save_cluster_state",
+    "load_cluster_state",
     "Engine",
     "FaultPolicy",
     "FaultInjector",

@@ -1,16 +1,20 @@
 """``rp-dbscan`` command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     rp-dbscan generate --dataset GeoLife --n 20000 --out points.npy
-    rp-dbscan cluster points.npy --eps 3 --min-pts 40 --out labels.txt
+    rp-dbscan cluster points.npy --eps 3 --min-pts 40 --out labels.txt \
+        --save-model model.rpst
+    rp-dbscan predict queries.npy --model model.rpst --out labels.txt
     rp-dbscan compare points.npy --eps 3 --min-pts 40 --timeout 120
     rp-dbscan accuracy points.npy --eps 3 --min-pts 40
 
 ``generate`` synthesizes one of the data-set stand-ins, ``cluster`` runs
-RP-DBSCAN on a point file, ``compare`` runs RP-DBSCAN against the
-parallel baselines (Table-6 style), and ``accuracy`` measures the Rand
-index of RP-DBSCAN against exact DBSCAN (Table-4 style).
+RP-DBSCAN on a point file (optionally persisting the fitted model plane
+as an ``RPST`` stream), ``predict`` classifies new points against a
+saved model, ``compare`` runs RP-DBSCAN against the parallel baselines
+(Table-6 style), and ``accuracy`` measures the Rand index of RP-DBSCAN
+against exact DBSCAN (Table-4 style).
 """
 
 from __future__ import annotations
@@ -238,6 +242,55 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.out:
         save_labels(args.out, result.labels)
         print(f"labels written to {args.out}")
+    if args.save_model:
+        if result.state is None:
+            print(
+                "error: --save-model requires an in-memory fit "
+                "(incompatible with --memmap: the model plane holds the "
+                "fitted points)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core.serialization import save_cluster_state
+
+        save_cluster_state(result.state, args.save_model)
+        print(f"model ({result.state.num_points} points) written to {args.save_model}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.prediction import ClusterModel
+    from repro.core.serialization import load_cluster_state
+
+    try:
+        state = load_cluster_state(args.model)
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot load model {args.model!r}: {exc}", file=sys.stderr)
+        return 2
+    points = load_points(args.points)
+    try:
+        model = ClusterModel.from_state(state, kernel=args.kernel)
+    except KernelUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if points.ndim != 2 or points.shape[1] != state.geometry.dim:
+        print(
+            f"error: query points have shape {points.shape}; the model "
+            f"expects (m, {state.geometry.dim})",
+            file=sys.stderr,
+        )
+        return 2
+    labels = model.predict(points)
+    noise = int((labels == -1).sum())
+    print(
+        f"predicted {points.shape[0]} points against "
+        f"{model.n_core_points} cores in {model.num_cells} cells "
+        f"(eps={state.eps}, kernel={model.kernel}): "
+        f"assigned={points.shape[0] - noise} noise={noise}"
+    )
+    if args.out:
+        save_labels(args.out, labels)
+        print(f"labels written to {args.out}")
     return 0
 
 
@@ -315,6 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("points", help="input .npy or .csv point file")
     _add_dbscan_args(cluster)
     cluster.add_argument("--out", help="optional label output path")
+    cluster.add_argument(
+        "--save-model",
+        metavar="PATH",
+        help="persist the fitted model plane (ClusterState) as an RPST "
+        "stream, servable with `rp-dbscan predict`",
+    )
     engine_group = cluster.add_argument_group("execution engine")
     engine_group.add_argument(
         "--engine",
@@ -462,6 +521,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture per-task cProfile data and write merged pstats to PATH",
     )
     cluster.set_defaults(func=_cmd_cluster)
+
+    predict = sub.add_parser(
+        "predict", help="classify new points against a saved model"
+    )
+    predict.add_argument("points", help="query .npy or .csv point file")
+    predict.add_argument(
+        "--model", required=True, metavar="PATH",
+        help="RPST model file written by `cluster --save-model`",
+    )
+    predict.add_argument("--out", help="optional label output path")
+    predict.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="auto",
+        help="distance backend for batch predict (bit-identical across "
+        "backends)",
+    )
+    predict.set_defaults(func=_cmd_predict)
 
     compare = sub.add_parser("compare", help="run all parallel algorithms")
     compare.add_argument("points", help="input .npy or .csv point file")

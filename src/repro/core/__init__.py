@@ -18,6 +18,7 @@ own.
 
 from repro.core.cell_graph import CellGraph, EdgeType, FlatCellGraph
 from repro.core.cells import CellGeometry, h_for_rho
+from repro.core.cluster_state import ClusterState, IngestReport
 from repro.core.construction import QueryContext, SubgraphResult, build_cell_subgraph
 from repro.core.defragmentation import (
     DefragmentedDictionary,
@@ -56,9 +57,13 @@ from repro.core.prediction import ClusterModel
 from repro.core.region_query import CellBatchQueryResult, RegionQueryEngine
 from repro.core.serialization import (
     deserialize_cell_graph,
+    deserialize_cluster_state,
     deserialize_dictionary,
     deserialize_flat_dictionary,
+    load_cluster_state,
+    save_cluster_state,
     serialize_cell_graph,
+    serialize_cluster_state,
     serialize_dictionary,
 )
 from repro.core.rp_dbscan import (
@@ -111,11 +116,17 @@ __all__ = [
     "CellBatchQueryResult",
     "RegionQueryEngine",
     "ClusterModel",
+    "ClusterState",
+    "IngestReport",
     "serialize_dictionary",
     "deserialize_dictionary",
     "deserialize_flat_dictionary",
     "serialize_cell_graph",
     "deserialize_cell_graph",
+    "serialize_cluster_state",
+    "deserialize_cluster_state",
+    "save_cluster_state",
+    "load_cluster_state",
     "PHASES",
     "PHASE_PARTITION",
     "PHASE_DICTIONARY",

@@ -431,9 +431,10 @@ class FlatCellDictionary:
     Notes
     -----
     The structure is frozen after construction (arrays may be read-only
-    shared-memory views); incremental maintenance lives on the
-    dict-backed layout (:meth:`CellDictionary.add_points`), from which
-    :meth:`from_cell_dictionary` re-flattens.
+    shared-memory views); :meth:`add_points` returns a *new* dictionary
+    for the union rather than mutating in place, bit-identical to
+    :meth:`from_points` on the concatenated points — the model plane's
+    incremental-ingest contract rests on that equivalence.
     """
 
     __slots__ = (
@@ -547,6 +548,65 @@ class FlatCellDictionary:
         starts = np.nonzero(new_cell)[0]
         offsets = np.concatenate([starts, [uniq.shape[0]]]).astype(np.int64)
         return cls(
+            geometry,
+            cell_part[starts],
+            np.add.reduceat(counts, starts).astype(np.int64),
+            offsets,
+            uniq[:, d:].astype(np.uint16),
+            counts.astype(np.int64),
+            validate=False,
+        )
+
+    def add_points(self, points: np.ndarray) -> "FlatCellDictionary":
+        """A new dictionary summarizing this one's points plus ``points``.
+
+        The union-with-sum counterpart of :meth:`merge` (which requires
+        disjoint cells): existing ``(cell, sub-cell)`` rows have the new
+        points' counts added, new rows are spliced into lexicographic
+        position.  The result is **bit-identical** to
+        :meth:`from_points` on the concatenated point set — the existing
+        rows are expanded back into weighted ``(cell, sub-cell)``
+        occurrence rows and pushed through the same ``np.unique`` tail,
+        and :meth:`_compute_centers` is a per-row formula, so grouping
+        history cannot leak into any array.  ``self`` is not mutated.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError("points must be (n, d)")
+        if pts.shape[1] != self.geometry.dim:
+            raise ValueError(
+                f"points have dim {pts.shape[1]} but geometry has dim "
+                f"{self.geometry.dim}"
+            )
+        if pts.shape[0] == 0:
+            return self
+        geometry = self.geometry
+        d = geometry.dim
+        cids = geometry.cell_ids(pts)
+        subs = geometry.sub_cell_coords(pts, cids).astype(np.int64)
+        fresh = np.concatenate([cids, subs], axis=1)
+        reps = np.diff(self.offsets)
+        existing = np.concatenate(
+            [
+                np.repeat(self.cell_ids, reps, axis=0),
+                self.sub_coords.astype(np.int64),
+            ],
+            axis=1,
+        )
+        combined = np.concatenate([existing, fresh])
+        weights = np.concatenate(
+            [self.sub_counts, np.ones(fresh.shape[0], dtype=np.int64)]
+        )
+        uniq, inverse = np.unique(combined, axis=0, return_inverse=True)
+        counts = np.zeros(uniq.shape[0], dtype=np.int64)
+        np.add.at(counts, inverse.reshape(-1), weights)
+        cell_part = uniq[:, :d]
+        new_cell = np.empty(uniq.shape[0], dtype=bool)
+        new_cell[0] = True
+        np.any(cell_part[1:] != cell_part[:-1], axis=1, out=new_cell[1:])
+        starts = np.nonzero(new_cell)[0]
+        offsets = np.concatenate([starts, [uniq.shape[0]]]).astype(np.int64)
+        return type(self)(
             geometry,
             cell_part[starts],
             np.add.reduceat(counts, starts).astype(np.int64),

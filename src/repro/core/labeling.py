@@ -29,6 +29,7 @@ from repro.spatial.distance import pairwise_distances
 __all__ = [
     "LabelingContext",
     "build_labeling_context",
+    "core_cell_labels",
     "label_partition",
     "NOISE",
 ]
@@ -75,6 +76,24 @@ class LabelingContext:
         return len(set(self.cell_labels.values()))
 
 
+def core_cell_labels(graph: CellGraph) -> dict[int, int]:
+    """Canonical cluster id for every core cell of ``graph``.
+
+    One spanning tree over **full** edges is one cluster (Lemma 3.5);
+    :func:`~repro.graph.spanning_forest.connected_components` numbers the
+    components canonically (by their smallest member), so the mapping is
+    a pure function of the graph's core set and full-edge connectivity —
+    *not* of edge order, merge history, or how the graph was produced.
+    The from-scratch fit and the incremental ingest splice both route
+    through this helper; identical connectivity therefore yields
+    bit-identical cluster numbering, which is what makes an incremental
+    refit indistinguishable from a full one.
+    """
+    return connected_components(
+        sorted(graph.core), graph.edges_of_type(EdgeType.FULL)
+    )
+
+
 def build_labeling_context(
     graph: CellGraph,
     partitions: list[Partition],
@@ -99,8 +118,7 @@ def build_labeling_context(
         Cell id -> dense index (the dictionary's
         :attr:`~repro.core.dictionary.CellDictionary.index_map`).
     """
-    full_edges = graph.edges_of_type(EdgeType.FULL)
-    cell_labels = connected_components(sorted(graph.core), full_edges)
+    cell_labels = core_cell_labels(graph)
 
     predecessors: dict[int, list[int]] = {}
     needed_sources: set[int] = set()

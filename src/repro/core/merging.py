@@ -246,6 +246,7 @@ def progressive_merge(
     reduce_edges: bool = True,
     merge_mode: str = "driver",
     engine: "Engine | None" = None,
+    phase: str = PHASE_MERGE,
 ) -> tuple[AnyCellGraph, MergeStats]:
     """Merge all cell subgraphs into the global cell graph.
 
@@ -263,6 +264,11 @@ def progressive_merge(
         Required for engine mode; when given, Phase III-1 time lands in
         its counters/tracer in every mode and the per-round merge ledger
         is recorded (:meth:`~repro.engine.counters.Counters.add_merge_round`).
+    phase:
+        Counter bucket / span label for the tournament.  Defaults to
+        the fit pipeline's :data:`PHASE_MERGE`; the incremental-ingest
+        path passes its own label so a shared engine's fit-phase
+        breakdown is never polluted by refit work.
 
     Returns
     -------
@@ -277,10 +283,10 @@ def progressive_merge(
         return CellGraph(), MergeStats(edges_per_round=[0])
     if mode == "engine":
         assert engine is not None
-        final, stats = _engine_merge(subgraphs, reduce_edges, engine)
+        final, stats = _engine_merge(subgraphs, reduce_edges, engine, phase)
     elif engine is not None:
-        with engine.counters.timed_phase(PHASE_MERGE), engine.tracer.span(
-            PHASE_MERGE, "driver", phase=PHASE_MERGE
+        with engine.counters.timed_phase(phase), engine.tracer.span(
+            phase, "driver", phase=phase
         ):
             final, stats = _driver_merge(subgraphs, reduce_edges)
     else:
@@ -341,7 +347,10 @@ def _driver_merge(
 
 
 def _engine_merge(
-    subgraphs: "list[AnyCellGraph]", reduce_edges: bool, engine: "Engine"
+    subgraphs: "list[AnyCellGraph]",
+    reduce_edges: bool,
+    engine: "Engine",
+    phase: str = PHASE_MERGE,
 ) -> tuple[AnyCellGraph, MergeStats]:
     """Each round's matches dispatched through ``Engine.map_tasks``.
 
@@ -355,14 +364,14 @@ def _engine_merge(
     tracer = engine.tracer
     stats = MergeStats(mode="engine")
     stats.edges_per_round.append(sum(g.num_edges for g in subgraphs))
-    with counters.timed_phase(PHASE_MERGE), tracer.span(
-        f"{PHASE_MERGE} (serialize)", "driver", phase=PHASE_MERGE
+    with counters.timed_phase(phase), tracer.span(
+        f"{phase} (serialize)", "driver", phase=phase
     ):
         current = [(serialize_cell_graph(g), g.num_edges) for g in subgraphs]
     round_index = 0
     while len(current) > 1:
         round_index += 1
-        round_name = f"{PHASE_MERGE} round {round_index}"
+        round_name = f"{phase} round {round_index}"
         edges_in = sum(edges for _, edges in current)
         payloads = [
             (current[i][0], current[i + 1][0], reduce_edges)
@@ -373,7 +382,7 @@ def _engine_merge(
         results = engine.map_tasks(
             _merge_match_task,
             payloads,
-            phase=PHASE_MERGE,
+            phase=phase,
             trace_phase=round_name,
         )
         wall = time.perf_counter() - round_start
@@ -398,8 +407,8 @@ def _engine_merge(
             removed=stats.removed_per_round[-1],
             bytes_shipped=bytes_shipped,
         )
-    with counters.timed_phase(PHASE_MERGE), tracer.span(
-        f"{PHASE_MERGE} (finalize)", "driver", phase=PHASE_MERGE
+    with counters.timed_phase(phase), tracer.span(
+        f"{phase} (finalize)", "driver", phase=phase
     ):
         final = deserialize_cell_graph(current[0][0])
         _finalize(final, reduce_edges, stats)

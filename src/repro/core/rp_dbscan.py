@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.cell_graph import CellGraph, FlatCellGraph
 from repro.core.cells import CellGeometry
+from repro.core.cluster_state import ClusterState
 from repro.core.construction import QueryContext, SubgraphResult, build_cell_subgraph
 from repro.core.defragmentation import defragment
 from repro.core.dictionary import (
@@ -205,6 +206,15 @@ class RPDBSCANResult:
     #: rejoins) from the cluster at the end of the run.  ``None`` for
     #: serial/process runs.
     node_ledger: list[dict] | None = None
+    #: The persistent model plane: geometry + flat dictionary + global
+    #: cell graph + canonical cell labels + per-point arrays, ready for
+    #: serving (:class:`~repro.core.prediction.ClusterModel`),
+    #: serialization (``RPST``), and incremental refit
+    #: (:meth:`~repro.core.cluster_state.ClusterState.ingest`).  ``None``
+    #: when the fit streamed from a :class:`~repro.data.streaming.PointSource`
+    #: — the model plane holds the fitted points, which an out-of-core
+    #: run deliberately never materializes in full.
+    state: ClusterState | None = None
 
     @property
     def noise_count(self) -> int:
@@ -486,7 +496,6 @@ class RPDBSCAN:
         # delta so repeated fit() calls yield independent timings.
         engine_counters = self.engine.counters
         fit_mark = engine_counters.mark()
-        counters = engine_counters
         tracer = self.engine.tracer
         geometry = CellGeometry(self.eps, max(dim, 1), self.rho)
         with tracer.span(
@@ -494,10 +503,22 @@ class RPDBSCAN:
         ):
             return self._fit_traced(pts, n, geometry, engine_counters, fit_mark)
 
+    def _empty_state(self, geometry: CellGeometry) -> ClusterState:
+        return ClusterState.empty(
+            geometry,
+            self.min_pts,
+            kernel=self.kernel,
+            candidate_strategy=self.candidate_strategy,
+            merge_mode=self.merge_mode,
+            num_tasks=self.num_partitions,
+        )
+
     def _fit_traced(self, pts, n, geometry, engine_counters, fit_mark):
-        counters = engine_counters
-        tracer = self.engine.tracer
         dim = geometry.dim
+        # The model plane holds the fitted points; a PointSource run
+        # deliberately never materializes them in full, so it carries no
+        # state (the result arrays are unaffected).
+        build_state = isinstance(pts, np.ndarray)
         if n == 0:
             return RPDBSCANResult(
                 labels=np.empty(0, dtype=np.int64),
@@ -508,7 +529,74 @@ class RPDBSCAN:
                 dictionary_model=DictionarySizeModel(0, 0, dim or 1, geometry.h),
                 num_points=0,
                 kernel=self.kernel,
+                state=self._empty_state(geometry) if build_state else None,
             )
+
+        state = self._empty_state(geometry) if build_state else None
+        partitions, dictionary, sharded, context = self._phase1(
+            state, pts, geometry
+        )
+        subgraph_results, broadcast_residency = self._phase2(
+            state, partitions, context, sharded, n
+        )
+        labels, global_graph, merge_stats, labeling_context = self._phase3(
+            state, partitions, subgraph_results, dictionary, sharded, n
+        )
+        core_mask = np.zeros(n, dtype=bool)
+        for partition, subgraph in zip(
+            partitions, subgraph_results, strict=True
+        ):
+            core_mask[partition.global_indices] = subgraph.core_mask
+        if state is not None:
+            state.labels = labels
+            state.core_mask = core_mask
+
+        # Out-of-core partitions may still hold their Phase III-2 blocks;
+        # the run is over, so drop them before reporting.
+        for partition in partitions:
+            partition.release()
+
+        subdict_stats = None
+        if sharded is not None:
+            subdict_stats = (sharded.num_shards, sharded.average_consulted())
+        elif self.defragment_capacity is not None:
+            defrag_dict = context.defragmented
+            if defrag_dict is not None:
+                subdict_stats = (
+                    defrag_dict.num_sub_dicts,
+                    defrag_dict.average_consulted(),
+                )
+        return RPDBSCANResult(
+            labels=labels,
+            core_mask=core_mask,
+            n_clusters=labeling_context.n_clusters,
+            counters=engine_counters.since(fit_mark),
+            merge_stats=merge_stats,
+            dictionary_model=dictionary.size_model(),
+            partition_sizes=[p.num_points for p in partitions],
+            num_points=n,
+            kernel=self.kernel,
+            global_graph=global_graph,
+            subdict_stats=subdict_stats,
+            broadcast_residency=broadcast_residency,
+            node_ledger=self.engine.node_ledger(),
+            state=state,
+        )
+
+    # ------------------------------------------------------------------
+    # The three pipeline steps (each reads/writes the ClusterState)
+    # ------------------------------------------------------------------
+
+    def _phase1(self, state, pts, geometry):
+        """Phases I-1 + I-2: partition, build + merge the dictionary.
+
+        Writes the state's point plane (``points``, ``point_cell_rows``)
+        and ``dictionary``; returns the partitions plus the Phase II
+        broadcast context (and the sharded dictionary, if budgeted).
+        """
+        counters = self.engine.counters
+        tracer = self.engine.tracer
+        dim = geometry.dim
 
         # ---------------- Phase I-1: pseudo random partitioning --------
         with counters.timed_phase(PHASE_PARTITION), tracer.span(
@@ -565,7 +653,37 @@ class RPDBSCAN:
                     kernel=self.kernel,
                 )
 
-        # ---------------- Phase II: cell graph construction ------------
+        if state is not None:
+            flat = (
+                dictionary
+                if isinstance(dictionary, FlatCellDictionary)
+                else FlatCellDictionary.from_cell_dictionary(dictionary)
+            )
+            state.dictionary = flat
+            state.points = pts
+            rows = np.empty(pts.shape[0], dtype=np.int64)
+            for partition in partitions:
+                if not partition.cell_slices:
+                    continue
+                owned = np.array(list(partition.cell_slices), dtype=np.int64)
+                local = np.empty(partition.num_points, dtype=np.int64)
+                for row, (start, stop) in zip(
+                    flat.find_rows(owned).tolist(),
+                    partition.cell_slices.values(),
+                ):
+                    local[start:stop] = row
+                rows[partition.global_indices] = local
+            state.point_cell_rows = rows
+        return partitions, dictionary, sharded, context
+
+    def _phase2(self, state, partitions, context, sharded, n):
+        """Phase II: per-partition core marking + cell subgraphs.
+
+        Reads the broadcast context built by :meth:`_phase1`; the
+        per-point core flags it produces land on the state after
+        Phase III-2's scatter (the subgraph results are returned).
+        """
+        counters = self.engine.counters
         # The warm-up hook builds the region-query engine during worker
         # initialization (or once on the driver in serial mode), under
         # the engine.setup bucket: every mode pays index construction
@@ -613,8 +731,19 @@ class RPDBSCAN:
             registry.gauge("broadcast.shards").set(sharded.num_shards)
             registry.gauge("broadcast.budget_bytes").set(self.broadcast_budget)
             registry.gauge("broadcast.peak_resident_bytes").set(peak)
+        return subgraph_results, broadcast_residency
 
-        # ---------------- Phase III-1: progressive graph merging -------
+    def _phase3(
+        self, state, partitions, subgraph_results, dictionary, sharded, n
+    ):
+        """Phase III: merge the subgraphs, then label every point.
+
+        Writes the state's graph plane (``graph``, ``cell_labels``);
+        per-point ``labels``/``core_mask`` are committed by the caller
+        once the scatter completes.
+        """
+        counters = self.engine.counters
+        tracer = self.engine.tracer
         # progressive_merge owns the Phase III-1 accounting: driver-mode
         # tournaments run inside one driver span, engine-mode ones open
         # per-round phase spans via map_tasks (all in the PHASE_MERGE
@@ -638,9 +767,24 @@ class RPDBSCAN:
                 index_source.index_map,
             )
 
+        if state is not None:
+            flat_graph = (
+                global_graph
+                if isinstance(global_graph, FlatCellGraph)
+                else FlatCellGraph.from_cell_graph(
+                    global_graph, state.dictionary.num_cells
+                )
+            )
+            state.graph = flat_graph
+            cell_labels = np.full(
+                state.dictionary.num_cells, -1, dtype=np.int64
+            )
+            for cell, label in labeling_context.cell_labels.items():
+                cell_labels[cell] = label
+            state.cell_labels = cell_labels
+
         # ---------------- Phase III-2: point labeling ------------------
         labels = np.full(n, -1, dtype=np.int64)
-        core_mask = np.zeros(n, dtype=bool)
         label_chunks = self.engine.map_tasks(
             _phase3_worker,
             partitions,
@@ -650,42 +794,11 @@ class RPDBSCAN:
         )
         # strict=True: a partition/result misalignment must raise, not
         # silently truncate and mislabel the tail.
-        for partition, subgraph, (global_indices, chunk_labels) in zip(
-            partitions, subgraph_results, label_chunks, strict=True
+        for _partition, (global_indices, chunk_labels) in zip(
+            partitions, label_chunks, strict=True
         ):
             labels[global_indices] = chunk_labels
-            core_mask[partition.global_indices] = subgraph.core_mask
-
-        # Out-of-core partitions may still hold their Phase III-2 blocks;
-        # the run is over, so drop them before reporting.
-        for partition in partitions:
-            partition.release()
-
-        subdict_stats = None
-        if sharded is not None:
-            subdict_stats = (sharded.num_shards, sharded.average_consulted())
-        elif self.defragment_capacity is not None:
-            defrag_dict = context.defragmented
-            if defrag_dict is not None:
-                subdict_stats = (
-                    defrag_dict.num_sub_dicts,
-                    defrag_dict.average_consulted(),
-                )
-        return RPDBSCANResult(
-            labels=labels,
-            core_mask=core_mask,
-            n_clusters=labeling_context.n_clusters,
-            counters=engine_counters.since(fit_mark),
-            merge_stats=merge_stats,
-            dictionary_model=dictionary.size_model(),
-            partition_sizes=[p.num_points for p in partitions],
-            num_points=n,
-            kernel=self.kernel,
-            global_graph=global_graph,
-            subdict_stats=subdict_stats,
-            broadcast_residency=broadcast_residency,
-            node_ledger=self.engine.node_ledger(),
-        )
+        return labels, global_graph, merge_stats, labeling_context
 
     def fit_predict(self, points: np.ndarray | PointSource) -> np.ndarray:
         """Cluster ``points`` and return only the label array."""

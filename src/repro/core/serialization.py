@@ -34,6 +34,10 @@ __all__ = [
     "deserialize_flat_dictionary",
     "serialize_cell_graph",
     "deserialize_cell_graph",
+    "serialize_cluster_state",
+    "deserialize_cluster_state",
+    "save_cluster_state",
+    "load_cluster_state",
     "HEADER_BYTES",
 ]
 
@@ -275,3 +279,179 @@ def deserialize_cell_graph(data: bytes) -> CellGraph | FlatCellGraph:
     if magic == _GRAPH_MAGIC_DICT:
         return pickle.loads(data[4:])
     raise ValueError(f"unknown cell-graph stream magic {magic!r}")
+
+
+# ----------------------------------------------------------------------
+# Model-plane state (`RPST`): the persistent ClusterState
+# ----------------------------------------------------------------------
+
+_STATE_MAGIC = b"RPST"
+_STATE_VERSION = 1
+# magic, version, eps, rho, dim, min_pts, num_tasks
+_STATE_HEADER = struct.Struct("<4sHddiii")
+
+
+def _write_str(out: io.BytesIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    out.write(struct.pack("<H", len(raw)))
+    out.write(raw)
+
+
+def _read_str(data: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+def _write_array(out: io.BytesIO, array: np.ndarray) -> None:
+    """Deterministic raw-array framing: dtype string, shape, C-order
+    little-endian bytes.  No pickle, no archive container, no
+    timestamps — identical arrays always produce identical bytes, which
+    is what makes a saved state byte-stable across processes."""
+    contiguous = np.ascontiguousarray(array)
+    dtype = contiguous.dtype.newbyteorder("<")
+    _write_str(out, dtype.str)
+    out.write(struct.pack("<B", contiguous.ndim))
+    for extent in contiguous.shape:
+        out.write(struct.pack("<q", extent))
+    out.write(contiguous.astype(dtype, copy=False).tobytes())
+
+
+def _read_array(data: bytes, offset: int) -> tuple[np.ndarray, int]:
+    dtype_str, offset = _read_str(data, offset)
+    dtype = np.dtype(dtype_str)
+    (ndim,) = struct.unpack_from("<B", data, offset)
+    offset += 1
+    shape = []
+    for _ in range(ndim):
+        (extent,) = struct.unpack_from("<q", data, offset)
+        shape.append(extent)
+        offset += 8
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    nbytes = count * dtype.itemsize
+    array = (
+        np.frombuffer(data, dtype=dtype, count=count, offset=offset)
+        .reshape(shape)
+        .copy()
+    )
+    return array, offset + nbytes
+
+
+def serialize_cluster_state(state) -> bytes:
+    """Encode a :class:`~repro.core.cluster_state.ClusterState` as the
+    magic-dispatched ``RPST`` stream.
+
+    The stream is **byte-stable**: serializing the same state twice (or
+    a loaded copy of it) yields identical bytes, so model artifacts can
+    be content-addressed and diffed.  Layout: fixed header (geometry +
+    fit parameters), three length-prefixed config strings, then every
+    state array in a fixed order through the raw deterministic framing
+    of :func:`_write_array` — dictionary columns, graph columns
+    (including the union-find forest and pending-edge worklist, so a
+    loaded state resumes ingest exactly where the saved one would),
+    cell labels, and the per-point arrays.
+    """
+    geometry = state.geometry
+    out = io.BytesIO()
+    out.write(
+        _STATE_HEADER.pack(
+            _STATE_MAGIC,
+            _STATE_VERSION,
+            geometry.eps,
+            geometry.rho,
+            geometry.dim,
+            state.min_pts,
+            state.num_tasks,
+        )
+    )
+    _write_str(out, state.kernel)
+    _write_str(out, state.candidate_strategy)
+    _write_str(out, state.merge_mode)
+    dictionary = state.dictionary
+    graph = state.graph
+    for array in (
+        dictionary.cell_ids,
+        dictionary.cell_counts,
+        dictionary.offsets,
+        dictionary.sub_coords,
+        dictionary.sub_counts,
+        graph.status,
+        graph.src,
+        graph.dst,
+        graph.etype,
+        np.asarray(graph._pending, dtype=np.int64),
+        graph._forest.to_array(),
+        state.cell_labels,
+        state.points,
+        state.point_cell_rows,
+        state.labels,
+        state.core_mask,
+    ):
+        _write_array(out, array)
+    return out.getvalue()
+
+
+def deserialize_cluster_state(data: bytes):
+    """Inverse of :func:`serialize_cluster_state` (validates on load)."""
+    from repro.core.cluster_state import ClusterState
+
+    magic, version, eps, rho, dim, min_pts, num_tasks = (
+        _STATE_HEADER.unpack_from(data, 0)
+    )
+    if magic != _STATE_MAGIC:
+        raise ValueError("not an RP-DBSCAN model-state stream")
+    if version != _STATE_VERSION:
+        raise ValueError(f"unsupported RPST version {version}")
+    offset = _STATE_HEADER.size
+    kernel, offset = _read_str(data, offset)
+    candidate_strategy, offset = _read_str(data, offset)
+    merge_mode, offset = _read_str(data, offset)
+    arrays = []
+    for _ in range(16):
+        array, offset = _read_array(data, offset)
+        arrays.append(array)
+    (
+        cell_ids, cell_counts, offsets, sub_coords, sub_counts,
+        status, src, dst, etype, pending, parent,
+        cell_labels, points, point_cell_rows, labels, core_mask,
+    ) = arrays
+    geometry = CellGeometry(eps, dim, rho)
+    dictionary = FlatCellDictionary(
+        geometry, cell_ids, cell_counts, offsets, sub_coords, sub_counts,
+        validate=False,
+    )
+    graph = FlatCellGraph.from_arrays(
+        status, src, dst, etype,
+        pending=pending.tolist(),
+        forest=ArrayUnionFind.from_array(parent),
+    )
+    state = ClusterState(
+        geometry=geometry,
+        min_pts=min_pts,
+        dictionary=dictionary,
+        graph=graph,
+        cell_labels=cell_labels,
+        points=points,
+        point_cell_rows=point_cell_rows,
+        labels=labels,
+        core_mask=core_mask,
+        kernel=kernel,
+        candidate_strategy=candidate_strategy,
+        merge_mode=merge_mode,
+        num_tasks=num_tasks,
+    )
+    state.validate()
+    return state
+
+
+def save_cluster_state(state, path) -> None:
+    """Write ``state`` to ``path`` as an ``RPST`` stream."""
+    with open(path, "wb") as handle:
+        handle.write(serialize_cluster_state(state))
+
+
+def load_cluster_state(path):
+    """Load a :class:`~repro.core.cluster_state.ClusterState` from an
+    ``RPST`` file written by :func:`save_cluster_state`."""
+    with open(path, "rb") as handle:
+        return deserialize_cluster_state(handle.read())

@@ -56,6 +56,7 @@ Process-mode semantics (matching Spark's executor model):
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import os
 import pickle
@@ -125,6 +126,35 @@ def _init_worker(barrier: Any) -> None:
     _WORKER_EPOCH = -1
     _WORKER_INSTALLS = 0
     _WORKER_SHM = []
+    _reset_inherited_signal_state()
+
+
+def _reset_inherited_signal_state() -> None:
+    """Drop event-loop signal plumbing a fork-context worker inherits.
+
+    When the parent runs an asyncio loop with ``add_signal_handler``
+    (the node agent does), forked workers inherit both the loop's
+    signal wakeup fd — the *shared* socketpair the loop sleeps on — and
+    the no-op Python-level SIGTERM/SIGINT handlers.  A SIGTERM aimed at
+    such a worker (``pool.terminate()`` during a respawn) then (a) gets
+    swallowed by the no-op handler so the worker never dies, and (b) is
+    written by the worker's C trampoline into the shared wakeup pipe,
+    which the *parent's* loop reads as its own SIGTERM and shuts the
+    agent down mid-fit.  Clearing the wakeup fd and restoring default
+    dispositions here confines each worker's signals to the worker.
+    """
+    import signal
+
+    with contextlib.suppress(ValueError, OSError):
+        signal.set_wakeup_fd(-1)
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(ValueError, OSError):
+            if signal.getsignal(sig) not in (
+                signal.SIG_DFL,
+                signal.SIG_IGN,
+                signal.default_int_handler,
+            ):
+                signal.signal(sig, signal.SIG_DFL)
 
 
 def _install_broadcast(

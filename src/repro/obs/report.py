@@ -18,6 +18,10 @@ report the paper's efficiency analysis wants at a glance:
 * **node broadcast ledger** — remote runs only: one row per node per
   broadcast epoch, showing the substrate shipped each value exactly
   once per node;
+* **ingest ledger** — one row per incremental refit
+  (:meth:`~repro.core.cluster_state.ClusterState.ingest`): cells
+  reconsidered out of the union total, edges recomputed vs retained,
+  and the splice wall;
 * **fault ledger** — every retry/timeout/respawn/speculation event with
   its wall-clock timestamp.
 
@@ -47,6 +51,7 @@ __all__ = [
     "node_ledger_rows",
     "fault_ledger_rows",
     "merge_ledger_rows",
+    "ingest_ledger_rows",
 ]
 
 #: An attempt at least this many times slower than its phase median is
@@ -279,6 +284,43 @@ def merge_ledger_rows(spans: list[Span]) -> list[list]:
     return rows
 
 
+def ingest_ledger_rows(spans: list[Span]) -> list[list]:
+    """One row per incremental-refit call: the dirty-cell ledger.
+
+    Rendered from the ``ingest`` driver spans
+    :meth:`~repro.core.cluster_state.ClusterState.ingest` annotates:
+    points appended, cells reconsidered (dirty) out of the union total,
+    edges recomputed vs retained, and the splice wall next to the whole
+    call's wall — the figures that show an incremental refit really did
+    sublinear work.
+    """
+    rows = []
+    for span in spans:
+        if span.kind != "driver" or span.name != "ingest":
+            continue
+        notes = span.annotations
+        if "cells_dirty" not in notes:
+            continue
+        cells_total = notes.get("cells_total")
+        cells_dirty = notes.get("cells_dirty")
+        dirty_cell = cells_dirty
+        if cells_dirty is not None and cells_total:
+            dirty_cell = f"{cells_dirty}/{cells_total}"
+        splice = notes.get("splice_seconds")
+        rows.append(
+            [
+                notes.get("num_new_points"),
+                dirty_cell,
+                notes.get("cells_new"),
+                notes.get("edges_recomputed"),
+                notes.get("edges_retained"),
+                format_duration(float(splice)) if splice is not None else None,
+                format_duration(span.duration_s),
+            ]
+        )
+    return rows
+
+
 def fault_ledger_rows(spans: list[Span]) -> list[list]:
     """Fault events with wall-clock timestamps, in event order."""
     rows = []
@@ -406,6 +448,19 @@ def render_run_report(spans: list[Span], *, title: str = "run report") -> str:
                     "merge-round ledger "
                     "(engine-scheduled tournament, measured walls)"
                 ),
+            )
+        )
+
+    rows = ingest_ledger_rows(spans)
+    if rows:
+        sections.append(
+            format_table(
+                [
+                    "new pts", "dirty cells", "new cells",
+                    "edges recomputed", "edges retained", "splice", "wall",
+                ],
+                rows,
+                title="ingest ledger (one row per incremental refit)",
             )
         )
 

@@ -120,8 +120,14 @@ class NeighborCellFinder:
         self.strategy = strategy
         self._offsets: np.ndarray | None = None
         self._tree: KDTree | None = None
+        self._packed: np.ndarray | None = None
+        self._offset_keys: np.ndarray | None = None
+        self._pack_lo: np.ndarray | None = None
+        self._pack_ext: np.ndarray | None = None
+        self._pack_strides: np.ndarray | None = None
         if strategy == "enumerate":
             self._offsets = self._build_offsets()
+            self._build_packed_keys()
         else:
             self._build_tree()
 
@@ -135,7 +141,32 @@ class NeighborCellFinder:
         offsets = neighbor_cell_offsets(self.dim, radius_cells=reach + 1)
         gap = np.maximum(np.abs(offsets) - 1, 0).astype(np.float64) * self.side
         keep = np.einsum("ij,ij->i", gap, gap) <= self.eps**2 * (1 + 1e-12)
-        return offsets[keep]
+        kept = offsets[keep]
+        # Lexicographic offset order makes per-query probe rows come out
+        # already ascending — the batch path then needs no sort.
+        return kept[np.lexsort(kept.T[::-1])]
+
+    def _build_packed_keys(self) -> None:
+        """Scalar int64 keys for the batch path: row-major raveling of
+        the (bounded) id box preserves lexicographic order, and scalar
+        ``searchsorted`` is an order of magnitude faster than the
+        structured-dtype one.  Skipped (``_packed is None``) when the id
+        extent could overflow the packing."""
+        if self._ids.shape[0] == 0:
+            return
+        lo = self._ids.min(axis=0)
+        ext = self._ids.max(axis=0) - lo + 1
+        if int(np.prod(ext.astype(object))) >= 1 << 60:
+            return
+        strides = np.ones(self.dim, dtype=np.int64)
+        for axis in range(self.dim - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * ext[axis + 1]
+        self._pack_lo = lo
+        self._pack_ext = ext
+        self._pack_strides = strides
+        self._packed = ((self._ids - lo) * strides).sum(axis=1)
+        assert self._offsets is not None
+        self._offset_keys = (self._offsets * strides).sum(axis=1)
 
     def _build_tree(self) -> None:
         centers = (self._ids.astype(np.float64) + 0.5) * self.side
@@ -173,6 +204,96 @@ class NeighborCellFinder:
         gap = np.maximum(delta - 1, 0).astype(np.float64) * self.side
         keep = np.einsum("ij,ij->i", gap, gap) <= (self.eps * (1 + 1e-12)) ** 2
         return np.sort(hits[keep])
+
+    def candidate_rows_batch(
+        self, query_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`candidate_rows` for many query cells in one sweep.
+
+        Returns CSR ``(rows, offsets)``: query ``g``'s candidates are
+        ``rows[offsets[g]:offsets[g + 1]]``, ascending — identical to
+        ``candidate_rows(query_ids[g])``.  On the enumerate strategy the
+        whole batch costs one probe build and one ``searchsorted``
+        (chunked to bound the probe matrix), which is what makes dense
+        batch prediction cheap; kd-tree falls back to the scalar path.
+        """
+        queries = np.ascontiguousarray(query_ids, dtype=np.int64)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(f"query_ids must be (G, {self.dim})")
+        n_queries = queries.shape[0]
+        if self._ids.shape[0] == 0 or n_queries == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros(n_queries + 1, dtype=np.int64),
+            )
+        if self.strategy != "enumerate":
+            parts = [
+                self.candidate_rows(tuple(int(v) for v in row))
+                for row in queries.tolist()
+            ]
+            sizes = np.array([p.size for p in parts], dtype=np.int64)
+            offsets = np.concatenate([[0], np.cumsum(sizes)])
+            rows = (
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=np.int64)
+            )
+            return rows.astype(np.int64), offsets
+        assert self._offsets is not None
+        n_offsets = self._offsets.shape[0]
+        n_cells = self._ids.shape[0]
+        chunk = max(1, (1 << 19) // max(1, n_offsets))
+        row_parts: list[np.ndarray] = []
+        count_parts: list[np.ndarray] = []
+        for begin in range(0, n_queries, chunk):
+            batch = queries[begin : begin + chunk]
+            if self._packed is not None:
+                # Probe keys decompose as key(base) + key(offset), and
+                # an in-range probe's key is exact (no collisions), so
+                # the whole chunk needs no (g, K, d) probe tensor: per-
+                # axis range masks plus one scalar searchsorted.
+                rel_base = batch - self._pack_lo
+                ok = np.ones((batch.shape[0], n_offsets), dtype=bool)
+                for axis in range(self.dim):
+                    span = (
+                        rel_base[:, axis, None]
+                        + self._offsets[None, :, axis]
+                    )
+                    ok &= (span >= 0) & (span < self._pack_ext[axis])
+                probe_keys = (
+                    rel_base @ self._pack_strides
+                )[:, None] + self._offset_keys[None, :]
+                inside = np.nonzero(ok.ravel())[0]
+                keys = probe_keys.ravel()[inside]
+                pos_in = np.searchsorted(self._packed, keys)
+                clip_in = np.minimum(pos_in, n_cells - 1)
+                hit = np.zeros(ok.size, dtype=bool)
+                hit[inside] = (pos_in < n_cells) & (
+                    self._packed[clip_in] == keys
+                )
+                clipped = np.zeros(ok.size, dtype=np.int64)
+                clipped[inside] = clip_in
+            else:
+                probes = (
+                    batch[:, None, :] + self._offsets[None, :, :]
+                ).reshape(-1, self.dim)
+                pos = np.searchsorted(self._keys, _lex_keys(probes))
+                clipped = np.minimum(pos, n_cells - 1)
+                hit = np.all(self._ids[clipped] == probes, axis=1) & (
+                    pos < n_cells
+                )
+            per_query = hit.reshape(batch.shape[0], n_offsets)
+            counts = per_query.sum(axis=1).astype(np.int64)
+            # The offset table is lexicographically sorted, so each
+            # query's probes — and therefore its hit rows — are already
+            # ascending, matching the scalar path's np.sort.
+            row_parts.append(clipped[hit])
+            count_parts.append(counts)
+        rows = np.concatenate(row_parts)
+        offsets = np.concatenate(
+            [[0], np.cumsum(np.concatenate(count_parts))]
+        ).astype(np.int64)
+        return rows, offsets
 
     def candidates(self, cell_id: CellId) -> list[CellId]:
         """Lexicographically sorted candidate cells as tuples.
