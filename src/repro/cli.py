@@ -1,20 +1,23 @@
 """``rp-dbscan`` command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     rp-dbscan generate --dataset GeoLife --n 20000 --out points.npy
     rp-dbscan cluster points.npy --eps 3 --min-pts 40 --out labels.txt \
         --save-model model.rpst
-    rp-dbscan predict queries.npy --model model.rpst --out labels.txt
+    rp-dbscan predict queries.npy --model model.rpst --out labels.npy
+    rp-dbscan serve --model model.rpst --port 7171 --workers 2
     rp-dbscan compare points.npy --eps 3 --min-pts 40 --timeout 120
     rp-dbscan accuracy points.npy --eps 3 --min-pts 40
 
 ``generate`` synthesizes one of the data-set stand-ins, ``cluster`` runs
 RP-DBSCAN on a point file (optionally persisting the fitted model plane
 as an ``RPST`` stream), ``predict`` classifies new points against a
-saved model, ``compare`` runs RP-DBSCAN against the parallel baselines
-(Table-6 style), and ``accuracy`` measures the Rand index of RP-DBSCAN
-against exact DBSCAN (Table-4 style).
+saved model (streamed in chunks, so beyond-RAM query files work),
+``serve`` runs the online predict server of :mod:`repro.serve`,
+``compare`` runs RP-DBSCAN against the parallel baselines (Table-6
+style), and ``accuracy`` measures the Rand index of RP-DBSCAN against
+exact DBSCAN (Table-4 style).
 """
 
 from __future__ import annotations
@@ -23,6 +26,8 @@ import argparse
 import sys
 
 from datetime import datetime, timezone
+
+import numpy as np
 
 from repro.baselines import (
     CBPDBSCAN,
@@ -261,37 +266,55 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.core.prediction import ClusterModel
     from repro.core.serialization import load_cluster_state
+    from repro.data.streaming import open_point_source
 
     try:
         state = load_cluster_state(args.model)
     except (ValueError, OSError) as exc:
         print(f"error: cannot load model {args.model!r}: {exc}", file=sys.stderr)
         return 2
-    points = load_points(args.points)
+    # Queries stream through a PointSource (memmapped for .npy when
+    # --memmap) and predict runs per chunk, so a query file larger than
+    # RAM classifies in bounded memory.
+    try:
+        source = open_point_source(args.points, memmap=args.memmap)
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot open {args.points!r}: {exc}", file=sys.stderr)
+        return 2
     try:
         model = ClusterModel.from_state(state, kernel=args.kernel)
     except KernelUnavailableError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if points.ndim != 2 or points.shape[1] != state.geometry.dim:
+    if source.dim != state.geometry.dim:
         print(
-            f"error: query points have shape {points.shape}; the model "
+            f"error: query points have dim {source.dim}; the model "
             f"expects (m, {state.geometry.dim})",
             file=sys.stderr,
         )
         return 2
-    labels = model.predict(points)
+    warmup_s = model.warmup()
+    labels = np.empty(source.num_points, dtype=np.int64)
+    for start, chunk in source.iter_chunks():
+        labels[start : start + chunk.shape[0]] = model.predict(chunk)
     noise = int((labels == -1).sum())
     print(
-        f"predicted {points.shape[0]} points against "
+        f"predicted {source.num_points} points against "
         f"{model.n_core_points} cores in {model.num_cells} cells "
         f"(eps={state.eps}, kernel={model.kernel}): "
-        f"assigned={points.shape[0] - noise} noise={noise}"
+        f"assigned={source.num_points - noise} noise={noise}"
     )
+    print(f"  setup: warmup={warmup_s:.3f}s")
     if args.out:
         save_labels(args.out, labels)
         print(f"labels written to {args.out}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.__main__ import run_from_args
+
+    return run_from_args(args)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -538,7 +561,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="distance backend for batch predict (bit-identical across "
         "backends)",
     )
+    predict.add_argument(
+        "--memmap",
+        action="store_true",
+        help="memory-map .npy query files and predict chunk by chunk "
+        "(beyond-RAM query sets; labels are identical to an eager read)",
+    )
     predict.set_defaults(func=_cmd_predict)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve predictions from a saved model over TCP "
+        "(micro-batching; see also `python -m repro.serve`)",
+    )
+    from repro.serve.__main__ import add_serve_arguments
+
+    add_serve_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     compare = sub.add_parser("compare", help="run all parallel algorithms")
     compare.add_argument("points", help="input .npy or .csv point file")

@@ -32,6 +32,8 @@ cells ascend lexicographically, fitted order within each cell.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.cells import CellGeometry
@@ -168,6 +170,26 @@ class ClusterModel:
     def num_cells(self) -> int:
         """Number of non-empty core cells in the model's table."""
         return int(self._table.num_cells)
+
+    def warmup(self) -> float:
+        """Pay every one-time cost of :meth:`predict` up front.
+
+        JIT-compiles the kernel backend for this model's dimensionality
+        (the per-dim compile :func:`repro.kernels.predict.warmup` does)
+        and pushes one probe point through the full batched sweep so
+        lazily built candidate tables are hot.  Returns wall seconds —
+        the number callers bill to the setup bucket, mirroring
+        ``_phase2_warmup``, so the first real request never pays compile
+        cost inside its latency budget.
+        """
+        start = time.perf_counter()
+        if self.kernel == "numba":
+            from repro.kernels.predict import warmup as kernel_warmup
+
+            kernel_warmup(self._geometry.dim)
+        probe = np.zeros((1, self._geometry.dim), dtype=np.float64)
+        self.predict(probe)
+        return time.perf_counter() - start
 
     def predict(self, points: np.ndarray) -> np.ndarray:
         """Labels for ``points``: nearest core's cluster within ``eps``,

@@ -51,12 +51,23 @@ def load_points(path: str | Path) -> np.ndarray:
 
 
 def save_labels(path: str | Path, labels: np.ndarray) -> None:
-    """Write a label vector (one integer per line, ``-1`` = noise)."""
+    """Write a label vector (``-1`` = noise).
+
+    ``.npy`` saves binary int64 (the cheap round trip for large query
+    sets); anything else is one integer per line.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savetxt(path, np.asarray(labels, dtype=np.int64), fmt="%d")
+    out = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if path.suffix == ".npy":
+        np.save(path, out)
+    else:
+        np.savetxt(path, out, fmt="%d")
 
 
 def load_labels(path: str | Path) -> np.ndarray:
     """Read a label vector written by :func:`save_labels`."""
-    return np.loadtxt(Path(path), dtype=np.int64).reshape(-1)
+    path = Path(path)
+    if path.suffix == ".npy":
+        return np.asarray(np.load(path), dtype=np.int64).reshape(-1)
+    return np.loadtxt(path, dtype=np.int64).reshape(-1)

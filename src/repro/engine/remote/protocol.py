@@ -59,6 +59,10 @@ __all__ = [
     "MSG_STATS_ACK",
     "MSG_SHUTDOWN",
     "MSG_ERROR",
+    "MSG_PREDICT",
+    "MSG_LABELS",
+    "MSG_INGEST",
+    "MSG_INGEST_ACK",
     "MESSAGE_TYPES",
 ]
 
@@ -91,11 +95,22 @@ MSG_STATS_ACK = 9
 MSG_SHUTDOWN = 10
 MSG_ERROR = 11
 
+# Serving-plane messages (client ↔ predict server, ``repro.serve``).
+# The serving plane reuses this frame codec so there is exactly one
+# wire framing in the repo; unlike the node-agent dialect, a serving
+# MSG_ERROR is a per-request rejection (overload, bad shape) and does
+# NOT terminate the connection.
+MSG_PREDICT = 12
+MSG_LABELS = 13
+MSG_INGEST = 14
+MSG_INGEST_ACK = 15
+
 MESSAGE_TYPES = frozenset(
     (
         MSG_HELLO, MSG_HELLO_ACK, MSG_BROADCAST, MSG_BROADCAST_ACK,
         MSG_TASK, MSG_RESULT, MSG_HEARTBEAT, MSG_STATS, MSG_STATS_ACK,
-        MSG_SHUTDOWN, MSG_ERROR,
+        MSG_SHUTDOWN, MSG_ERROR, MSG_PREDICT, MSG_LABELS, MSG_INGEST,
+        MSG_INGEST_ACK,
     )
 )
 

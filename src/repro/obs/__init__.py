@@ -31,13 +31,20 @@ from repro.obs.exporters import (
 )
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
+    SERVE_BATCH_BUCKETS,
+    SERVE_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
 from repro.obs.profiling import dump_merged_profile, merge_profile_blobs, profile_call
-from repro.obs.report import merge_ledger_rows, render_run_report
+from repro.obs.report import (
+    merge_ledger_rows,
+    render_run_report,
+    render_serving_report,
+    serving_ledger_rows,
+)
 from repro.obs.spans import (
     EVENT_RESPAWN,
     EVENT_RETRY,
@@ -69,6 +76,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
+    "SERVE_LATENCY_BUCKETS",
+    "SERVE_BATCH_BUCKETS",
     "write_spans_jsonl",
     "read_spans_jsonl",
     "to_chrome_trace",
@@ -77,6 +86,8 @@ __all__ = [
     "TRACE_FORMATS",
     "render_run_report",
     "merge_ledger_rows",
+    "render_serving_report",
+    "serving_ledger_rows",
     "profile_call",
     "merge_profile_blobs",
     "dump_merged_profile",

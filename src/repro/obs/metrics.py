@@ -35,6 +35,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
+    "SERVE_LATENCY_BUCKETS",
+    "SERVE_BATCH_BUCKETS",
 ]
 
 #: Default histogram boundaries for task-duration metrics, in seconds:
@@ -44,6 +46,24 @@ __all__ = [
 DEFAULT_SECONDS_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Request-latency boundaries for the serving plane, in seconds:
+#: log-spaced from 50 µs to 10 s.  Serving latencies sit two orders of
+#: magnitude below task durations (a micro-batched predict answers in
+#: hundreds of microseconds), so the task buckets above would collapse
+#: every healthy request into their first bin and p50/p99 would be
+#: indistinguishable.
+SERVE_LATENCY_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+)
+
+#: Batch-size boundaries (fused points per dispatch) for the serving
+#: plane's batch-size distribution: powers of two up to the largest
+#: sane micro-batch.
+SERVE_BATCH_BUCKETS = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
 )
 
 

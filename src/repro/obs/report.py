@@ -44,6 +44,7 @@ from repro.obs.spans import Span
 
 __all__ = [
     "render_run_report",
+    "render_serving_report",
     "phase_task_durations",
     "worker_busy_seconds",
     "worker_nodes",
@@ -52,6 +53,8 @@ __all__ = [
     "fault_ledger_rows",
     "merge_ledger_rows",
     "ingest_ledger_rows",
+    "serving_ledger_rows",
+    "snapshot_quantile",
 ]
 
 #: An attempt at least this many times slower than its phase median is
@@ -319,6 +322,113 @@ def ingest_ledger_rows(spans: list[Span]) -> list[list]:
             ]
         )
     return rows
+
+
+def snapshot_quantile(hist: dict, q: float) -> float:
+    """Bucket-resolution quantile from a snapshotted histogram dict.
+
+    The dict form is what :meth:`repro.obs.metrics.Histogram.to_dict`
+    emits (and what a serving stats reply carries over the wire), so
+    clients can read p50/p99 without holding the live registry.  Same
+    estimator as :meth:`Histogram.quantile`: the upper bound of the
+    bucket containing the ``q``-quantile observation.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    total = hist.get("total", 0)
+    if not total:
+        return 0.0
+    boundaries = hist["boundaries"]
+    rank = q * total
+    seen = 0
+    for i, count in enumerate(hist["counts"]):
+        seen += count
+        if seen >= rank and count:
+            if i < len(boundaries):
+                return float(boundaries[i])
+            return float(hist["max"])
+    return float(hist["max"])
+
+
+def serving_ledger_rows(snapshot: dict) -> list[list]:
+    """The serving ledger: one row per serving metric that matters.
+
+    Rendered from a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    of a predict server's registry (``serve.*`` and
+    ``setup_seconds.serve_*`` names).  Each row is ``[metric, value,
+    note]``; metrics the snapshot lacks are simply skipped, so partial
+    snapshots (a server that never ingested, a numba-free warm-up)
+    render without blank noise.
+    """
+    rows: list[list] = []
+
+    def scalar(name: str, label: str, fmt=lambda v: f"{v:,.0f}", note=None):
+        if name in snapshot:
+            rows.append([label, fmt(snapshot[name]), note])
+
+    scalar("serve.requests", "requests answered")
+    scalar("serve.points", "points labeled")
+    scalar("serve.rejected", "requests rejected", note="admission control")
+    scalar("serve.errors", "request errors")
+    scalar("serve.ingests", "model swaps (ingest)")
+    scalar("serve.epoch", "resident model epoch")
+    scalar("serve.worker_respawns", "predictor respawns")
+    scalar(
+        "serve.queue_depth_peak",
+        "peak queue depth",
+        note="pending requests",
+    )
+    latency = snapshot.get("serve.latency_seconds")
+    if isinstance(latency, dict) and latency.get("total"):
+        for q, label in ((0.5, "latency p50"), (0.9, "latency p90"),
+                         (0.99, "latency p99")):
+            rows.append(
+                [label, format_duration(snapshot_quantile(latency, q)),
+                 "bucket upper bound"]
+            )
+        rows.append(
+            ["latency max", format_duration(float(latency["max"])), None]
+        )
+    batch = snapshot.get("serve.batch_points")
+    if isinstance(batch, dict) and batch.get("total"):
+        rows.append(
+            [
+                "batch size mean",
+                f"{batch['sum'] / batch['total']:.1f} pts",
+                f"{batch['total']:,} dispatches",
+            ]
+        )
+        rows.append(
+            [
+                "batch size p99",
+                f"{snapshot_quantile(batch, 0.99):.0f} pts",
+                "bucket upper bound",
+            ]
+        )
+    for name, label in (
+        ("setup_seconds.serve_install", "model install (setup)"),
+        ("setup_seconds.serve_warmup", "JIT warm-up (setup)"),
+        ("setup_seconds.serve_ingest", "ingest refits (setup)"),
+    ):
+        if name in snapshot:
+            rows.append([label, format_duration(float(snapshot[name])), None])
+    return rows
+
+
+def render_serving_report(snapshot: dict, *, title: str = "serving report") -> str:
+    """Render the serving ledger of one predict server as text."""
+    rows = serving_ledger_rows(snapshot)
+    if not rows:
+        return f"{title}\n{'=' * len(title)}\n(no serving traffic recorded)"
+    sections = [f"{title}\n{'=' * len(title)}"]
+    sections.append(
+        format_table(
+            ["metric", "value", "note"],
+            rows,
+            title="serving ledger",
+        )
+    )
+    return "\n\n".join(sections)
 
 
 def fault_ledger_rows(spans: list[Span]) -> list[list]:

@@ -162,6 +162,34 @@ class TestFromState:
         assert model.kernel == "python"
 
 
+class TestWarmup:
+    def test_warmup_returns_seconds_and_primes_predict(self, fitted):
+        _, result, _ = fitted
+        model = ClusterModel.from_state(result.state)
+        seconds = model.warmup()
+        assert seconds >= 0.0
+        # Warm-up must not disturb prediction results.
+        rng = np.random.default_rng(17)
+        queries = rng.uniform(-0.5, 3.5, (100, 2))
+        reference = ClusterModel.from_state(result.state).predict(queries)
+        np.testing.assert_array_equal(model.predict(queries), reference)
+
+    def test_warmup_on_empty_model(self):
+        model = ClusterModel(
+            np.zeros((0, 2)),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=bool),
+            eps=1.0,
+        )
+        assert model.warmup() >= 0.0
+
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_warmup_per_backend(self, fitted, backend):
+        _, result, _ = fitted
+        model = ClusterModel.from_state(result.state, kernel=backend)
+        assert model.warmup() >= 0.0
+
+
 class TestKernelBackends:
     @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
     def test_bit_identical_to_numpy(self, fitted, backend):

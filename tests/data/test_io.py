@@ -70,3 +70,33 @@ class TestLabelsRoundtrip:
         path = tmp_path / "one.txt"
         save_labels(path, np.array([5]))
         assert load_labels(path).tolist() == [5]
+
+    def test_npy_roundtrip(self, tmp_path):
+        labels = np.array([3, -1, 0, 7, -1], dtype=np.int64)
+        path = tmp_path / "labels.npy"
+        save_labels(path, labels)
+        loaded = load_labels(path)
+        assert loaded.dtype == np.int64
+        np.testing.assert_array_equal(loaded, labels)
+
+    def test_npy_is_binary_int64(self, tmp_path):
+        # .npy must save the binary numpy format, not text with a fancy
+        # extension — np.load alone must read it back.
+        path = tmp_path / "labels.npy"
+        save_labels(path, np.array([1, 2, 3]))
+        raw = np.load(path)
+        assert raw.dtype == np.int64
+        assert raw.tolist() == [1, 2, 3]
+
+    def test_npy_flattens_column_vector(self, tmp_path):
+        path = tmp_path / "labels.npy"
+        save_labels(path, np.array([[1], [2], [-1]]))
+        assert load_labels(path).shape == (3,)
+
+    def test_text_and_npy_agree(self, tmp_path):
+        labels = np.array([0, -1, 5], dtype=np.int64)
+        save_labels(tmp_path / "a.txt", labels)
+        save_labels(tmp_path / "a.npy", labels)
+        np.testing.assert_array_equal(
+            load_labels(tmp_path / "a.txt"), load_labels(tmp_path / "a.npy")
+        )

@@ -1,0 +1,205 @@
+"""MicroBatcher semantics: fusion, scatter-back, flush policy, failure."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+class RecordingDispatch:
+    """A dispatch stub that records fused batches and answers row sums."""
+
+    def __init__(self, *, epoch: int = 1, delay_s: float = 0.0):
+        self.batches: list[np.ndarray] = []
+        self.epoch = epoch
+        self.delay_s = delay_s
+
+    async def __call__(self, fused):
+        self.batches.append(np.array(fused))
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        return self.epoch, fused.sum(axis=1).astype(np.int64)
+
+
+def _block(values):
+    """One (m, 1) request block from a list of scalars."""
+    return np.asarray(values, dtype=np.float64).reshape(-1, 1)
+
+
+class TestFusionAndScatter:
+    def test_concurrent_requests_fuse_into_one_dispatch(self):
+        dispatch = RecordingDispatch()
+
+        async def go():
+            batcher = MicroBatcher(dispatch, window_s=0.005, max_batch=1024)
+            results = await asyncio.gather(
+                batcher.submit(_block([1, 2])),
+                batcher.submit(_block([3])),
+                batcher.submit(_block([4, 5, 6])),
+            )
+            return results
+
+        results = asyncio.run(go())
+        assert len(dispatch.batches) == 1
+        assert dispatch.batches[0].shape == (6, 1)
+        # Scatter-back is positional: each request gets exactly its rows.
+        np.testing.assert_array_equal(results[0][1], [1, 2])
+        np.testing.assert_array_equal(results[1][1], [3])
+        np.testing.assert_array_equal(results[2][1], [4, 5, 6])
+        assert all(epoch == 1 for epoch, _ in results)
+
+    def test_sequential_requests_each_dispatch_alone(self):
+        dispatch = RecordingDispatch()
+
+        async def go():
+            batcher = MicroBatcher(dispatch, window_s=0.0005, max_batch=1024)
+            for v in ([1], [2], [3]):
+                await batcher.submit(_block(v))
+
+        asyncio.run(go())
+        assert len(dispatch.batches) == 3
+
+    def test_labels_bit_identical_through_fusion(self):
+        """Fused dispatch must answer exactly what per-request would."""
+        dispatch = RecordingDispatch()
+        rng = np.random.default_rng(5)
+        blocks = [rng.normal(size=(m, 3)) for m in (1, 4, 2, 7)]
+
+        async def go():
+            batcher = MicroBatcher(dispatch, window_s=0.01, max_batch=4096)
+            return await asyncio.gather(
+                *(batcher.submit(b) for b in blocks)
+            )
+
+        results = asyncio.run(go())
+        for block, (_, labels) in zip(blocks, results):
+            np.testing.assert_array_equal(
+                labels, block.sum(axis=1).astype(np.int64)
+            )
+
+
+class TestFlushPolicy:
+    def test_max_batch_flushes_without_waiting(self):
+        dispatch = RecordingDispatch()
+
+        async def go():
+            # A window long enough that only the size cap can flush it.
+            batcher = MicroBatcher(dispatch, window_s=30.0, max_batch=4)
+            return await asyncio.gather(
+                batcher.submit(_block([1, 2])),
+                batcher.submit(_block([3, 4])),
+            )
+
+        asyncio.run(go())
+        assert len(dispatch.batches) == 1
+        assert dispatch.batches[0].shape[0] == 4
+
+    def test_window_zero_is_request_at_a_time(self):
+        dispatch = RecordingDispatch()
+
+        async def go():
+            batcher = MicroBatcher(dispatch, window_s=0.0, max_batch=4096)
+            await asyncio.gather(
+                batcher.submit(_block([1])), batcher.submit(_block([2]))
+            )
+
+        asyncio.run(go())
+        assert len(dispatch.batches) == 2
+
+    def test_oversized_single_request_dispatches_unsplit(self):
+        dispatch = RecordingDispatch()
+
+        async def go():
+            batcher = MicroBatcher(dispatch, window_s=0.01, max_batch=4)
+            _, labels = await batcher.submit(_block(range(32)))
+            return labels
+
+        labels = asyncio.run(go())
+        assert labels.shape == (32,)
+        assert len(dispatch.batches) == 1
+
+    def test_on_batch_hook_sees_request_and_point_counts(self):
+        seen = []
+        dispatch = RecordingDispatch()
+
+        async def go():
+            batcher = MicroBatcher(
+                dispatch,
+                window_s=0.005,
+                max_batch=1024,
+                on_batch=lambda reqs, pts: seen.append((reqs, pts)),
+            )
+            await asyncio.gather(
+                batcher.submit(_block([1, 2])), batcher.submit(_block([3]))
+            )
+
+        asyncio.run(go())
+        assert seen == [(2, 3)]
+
+    def test_invalid_parameters_rejected(self):
+        dispatch = RecordingDispatch()
+        with pytest.raises(ValueError):
+            MicroBatcher(dispatch, window_s=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(dispatch, max_batch=0)
+
+    def test_empty_request_rejected(self):
+        async def go():
+            batcher = MicroBatcher(RecordingDispatch())
+            await batcher.submit(np.empty((0, 2)))
+
+        with pytest.raises(ValueError):
+            asyncio.run(go())
+
+
+class TestFailureAndAccounting:
+    def test_dispatch_failure_fails_every_request_of_the_batch(self):
+        async def boom(fused):
+            raise RuntimeError("kernel exploded")
+
+        async def go():
+            batcher = MicroBatcher(boom, window_s=0.005, max_batch=1024)
+            return await asyncio.gather(
+                batcher.submit(_block([1])),
+                batcher.submit(_block([2])),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(go())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_pending_requests_tracks_in_flight_work(self):
+        dispatch = RecordingDispatch(delay_s=0.02)
+
+        async def go():
+            batcher = MicroBatcher(dispatch, window_s=0.001, max_batch=1024)
+            tasks = [
+                asyncio.ensure_future(batcher.submit(_block([i])))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0.005)
+            mid_flight = batcher.pending_requests
+            await asyncio.gather(*tasks)
+            return mid_flight, batcher.pending_requests
+
+        mid_flight, after = asyncio.run(go())
+        assert mid_flight == 3
+        assert after == 0
+
+    def test_drain_completes_everything(self):
+        dispatch = RecordingDispatch(delay_s=0.01)
+
+        async def go():
+            batcher = MicroBatcher(dispatch, window_s=5.0, max_batch=1024)
+            tasks = [
+                asyncio.ensure_future(batcher.submit(_block([i])))
+                for i in range(4)
+            ]
+            await asyncio.sleep(0)  # let submits enqueue
+            await batcher.drain()
+            assert all(t.done() for t in tasks)
+            return batcher.batches_dispatched
+
+        assert asyncio.run(go()) == 1

@@ -124,6 +124,90 @@ class TestClusterObservability:
         assert "respawn at" in out and "UTC" in out
 
 
+class TestPredict:
+    @pytest.fixture()
+    def model_file(self, point_file, tmp_path):
+        path = tmp_path / "model.rpst"
+        code = main(
+            [
+                "cluster", point_file, "--eps", "0.3", "--min-pts", "10",
+                "--save-model", str(path),
+            ]
+        )
+        assert code == 0
+        return str(path)
+
+    def test_predict_writes_npy_labels(
+        self, point_file, model_file, tmp_path, capsys
+    ):
+        out = tmp_path / "labels.npy"
+        code = main(
+            ["predict", point_file, "--model", model_file, "--out", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "predicted 600 points" in printed
+        assert "warmup=" in printed  # setup billed, not hidden
+        labels = load_labels(out)
+        assert labels.dtype == np.int64
+        assert labels.shape == (600,)
+        assert set(labels.tolist()) <= {-1, 0, 1}
+
+    def test_memmap_predict_matches_eager(
+        self, point_file, model_file, tmp_path
+    ):
+        eager_out = tmp_path / "eager.npy"
+        memmap_out = tmp_path / "memmap.npy"
+        assert (
+            main(
+                ["predict", point_file, "--model", model_file,
+                 "--out", str(eager_out)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["predict", point_file, "--model", model_file,
+                 "--memmap", "--out", str(memmap_out)]
+            )
+            == 0
+        )
+        np.testing.assert_array_equal(
+            load_labels(eager_out), load_labels(memmap_out)
+        )
+
+    def test_dim_mismatch_reports_error(self, model_file, tmp_path, capsys):
+        bad = tmp_path / "bad.npy"
+        save_points(bad, np.zeros((5, 7)))
+        code = main(["predict", str(bad), "--model", model_file])
+        assert code == 2
+        assert "dim 7" in capsys.readouterr().err
+
+    def test_missing_model_reports_error(self, point_file, tmp_path, capsys):
+        code = main(
+            ["predict", point_file, "--model", str(tmp_path / "nope.rpst")]
+        )
+        assert code == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_requires_model(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_rejects_bad_worker_count(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--model", str(tmp_path / "m.rpst"), "--workers", "0"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_missing_model_file(self, tmp_path, capsys):
+        code = main(["serve", "--model", str(tmp_path / "nope.rpst")])
+        assert code == 2
+
+
 class TestCompare:
     def test_prints_table(self, point_file, capsys):
         code = main(
